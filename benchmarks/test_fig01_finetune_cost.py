@@ -1,0 +1,44 @@
+"""Figure 1: one-round fine-tuning cost vs number of experts.
+
+The paper measures the cost of one fine-tuning round of LLaMA-MoE with 60
+Dolly samples on an L20 GPU while varying the number of experts
+(8/32/128/256).  Here the cost model charges the same workload (60 samples,
+expert-only updates) for growing expert counts; the paper's monotone growth
+(62.85s -> 394.16s) should be preserved in shape.
+"""
+
+import pytest
+
+from common import print_header, print_table
+from repro.models.presets import ARCHITECTURE_DESCRIPTORS
+from repro.systems import L20_SERVER, CostModel, MemoryModel
+
+EXPERT_COUNTS = [8, 32, 128, 256]
+PAPER_COSTS = {8: 62.85, 32: 103.73, 128: 163.57, 256: 394.16}
+NUM_SAMPLES = 60
+
+
+def _measure():
+    memory = MemoryModel(ARCHITECTURE_DESCRIPTORS["llama-moe"])
+    cost_model = CostModel(L20_SERVER, memory)
+    tokens = cost_model.scaled_tokens(NUM_SAMPLES)
+    costs = {}
+    for experts in EXPERT_COUNTS:
+        # fine-tuning cost of a model variant with `experts` trainable experts;
+        # all of them are updated (the paper fine-tunes expert parameters only)
+        costs[experts] = cost_model.training_time(tokens, tuning_experts=experts,
+                                                  frozen_experts=0)
+    return costs
+
+
+def test_fig01_finetune_cost_vs_experts(benchmark):
+    costs = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    print_header("Figure 1: one-round fine-tuning cost vs #experts (60 Dolly samples)")
+    print_table(["experts", "simulated_s", "paper_s"],
+                [[e, costs[e], PAPER_COSTS[e]] for e in EXPERT_COUNTS])
+
+    values = [costs[e] for e in EXPERT_COUNTS]
+    assert all(b > a for a, b in zip(values, values[1:])), "cost must grow with expert count"
+    # growth from 8 to 256 experts should be a multiple (paper: ~6.3x)
+    assert values[-1] / values[0] > 2.0

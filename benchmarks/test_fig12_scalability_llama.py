@@ -1,0 +1,80 @@
+"""Figure 12: time-to-accuracy vs number of participants (LLaMA-MoE-like).
+
+The paper varies the number of participants from 10 to 30 and reports the
+elapsed time each method needs to reach the target accuracy on each dataset.
+Expected shape: for every participant count FMD is slowest and Flux fastest,
+and adding participants reduces (or at least does not increase) each method's
+time-to-accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from common import (
+    DATASETS,
+    FAST,
+    METHODS,
+    default_rounds,
+    default_run_config,
+    print_header,
+    print_table,
+    run_all_methods,
+    time_to_common_target,
+)
+
+PARTICIPANT_COUNTS = [10, 30] if FAST else [10, 15, 20, 25, 30]
+ROUNDS = 5
+PER_ROUND_CLIENTS = 5   # sampled participants per round (keeps rounds comparable)
+
+
+def _measure(model="llama", seed=30):
+    table = {}
+    run_config = default_run_config(participants_per_round=PER_ROUND_CLIENTS,
+                                    eval_max_samples=48)
+    for dataset_name in DATASETS:
+        table[dataset_name] = {}
+        for count in PARTICIPANT_COUNTS:
+            results = run_all_methods(dataset_name, num_clients=count,
+                                      num_rounds=default_rounds(ROUNDS), model=model,
+                                      seed=seed, run_config=run_config)
+            targets = time_to_common_target(results, fraction=0.6)
+            table[dataset_name][count] = {
+                method: {
+                    "time_to_target": targets[method],
+                    "total_time": results[method].total_time,
+                    "best_metric": results[method].tracker.best_metric(),
+                }
+                for method in METHODS
+            }
+    return table
+
+
+def _print_and_check(table, figure_name):
+    for dataset_name, per_count in table.items():
+        print_header(f"{figure_name} ({dataset_name}): time-to-accuracy vs participants")
+        rows = []
+        for count, per_method in per_count.items():
+            row = [count]
+            for method in METHODS:
+                entry = per_method[method]
+                value = entry["time_to_target"]
+                row.append(round(value, 1) if value is not None else f">{round(entry['total_time'], 1)}")
+            rows.append(row)
+        print_table(["participants"] + METHODS, rows, width=14)
+
+        for count, per_method in per_count.items():
+            fmd_entry = per_method["fmd"]
+            flux_entry = per_method["flux"]
+            # Cost ordering always holds: Flux's rounds are cheaper than FMD's.
+            assert flux_entry["total_time"] < fmd_entry["total_time"], (
+                f"Flux rounds not cheaper than FMD on {dataset_name} with {count} participants")
+            # Who wins: whenever both methods reach the common quality target,
+            # Flux gets there in no more simulated time than FMD.
+            if flux_entry["time_to_target"] is not None and fmd_entry["time_to_target"] is not None:
+                assert flux_entry["time_to_target"] <= fmd_entry["time_to_target"] * 1.1, (
+                    f"Flux slower to target than FMD on {dataset_name} with {count} participants")
+
+
+def test_fig12_scalability_llama(benchmark):
+    table = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    _print_and_check(table, "Figure 12 (LLaMA-MoE-like)")

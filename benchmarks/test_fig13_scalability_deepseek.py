@@ -1,0 +1,14 @@
+"""Figure 13: time-to-accuracy vs number of participants (DeepSeek-MoE-like).
+
+Same protocol as Figure 12 on the DeepSeek-MoE-like mini model.
+"""
+
+import pytest
+
+from common import DATASETS, FAST, METHODS, default_rounds, default_run_config, print_header
+from test_fig12_scalability_llama import PARTICIPANT_COUNTS, _measure, _print_and_check
+
+
+def test_fig13_scalability_deepseek(benchmark):
+    table = benchmark.pedantic(lambda: _measure(model="deepseek", seed=31), rounds=1, iterations=1)
+    _print_and_check(table, "Figure 13 (DeepSeek-MoE-like)")

@@ -1,0 +1,40 @@
+"""Table 1: MoE-based LLMs — #layers/#experts, parameter count and size.
+
+Regenerates the paper's Table 1 from the analytical architecture descriptors
+and checks the rows against the published numbers.
+"""
+
+import pytest
+
+from common import print_header, print_table
+from repro.models import ARCHITECTURE_DESCRIPTORS, table1_rows
+
+#: (model, layers, experts, params in B, size in GB) as printed in the paper
+PAPER_TABLE1 = {
+    "LLaMA-MoE": (32, 16, 6.7, 13.48),
+    "Deepseek-MoE": (28, 64, 16.4, 32.77),
+    "Deepseek-v2-lite": (27, 64, 15.7, 31.44),
+    "Mixtral-8x7B": (64, 8, 46.7, 96.82),
+    "Qwen2-MoE": (28, 64, 57.4, 112.4),
+}
+
+
+def _generate_rows():
+    return table1_rows()
+
+
+def test_table1_model_sizes(benchmark):
+    rows = benchmark.pedantic(_generate_rows, rounds=1, iterations=1)
+
+    print_header("Table 1: MoE-based LLMs (#Layers/#Experts, #Params, Size)")
+    print_table(["model", "layers", "experts", "params_B", "size_GB"],
+                [[r["model"], r["layers"], r["experts"], r["params_B"], r["size_GB"]] for r in rows],
+                width=18)
+
+    for row in rows:
+        layers, experts, params, size = PAPER_TABLE1[row["model"]]
+        assert row["layers"] == layers
+        assert row["experts"] == experts
+        assert row["params_B"] == pytest.approx(params, rel=0.05)
+        # paper sizes assume 2-byte parameters; allow a small tolerance
+        assert row["size_GB"] == pytest.approx(size, rel=0.1)

@@ -1,0 +1,91 @@
+"""Heterogeneous participants: per-device expert budgets and role assignment.
+
+The paper's setting has participants with very different compute (consumer
+GPUs of various sizes).  This example derives each participant's expert
+budgets B_i / B_tune_i from its device profile and the full-scale DeepSeek-MoE
+memory model, runs Flux, and shows how the role-assignment module gives
+stronger devices more tuning experts while the slowest device still bounds the
+synchronous round time.
+
+Run with:  python examples/heterogeneous_participants.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    FluxConfig,
+    FluxFineTuner,
+    MoETransformer,
+    ParameterServer,
+    Participant,
+    ParticipantResources,
+    RunConfig,
+    Vocabulary,
+    deepseek_moe_mini,
+    make_mmlu_like,
+    partition_dirichlet,
+)
+from repro.models.presets import ARCHITECTURE_DESCRIPTORS
+from repro.systems import CostModel, MemoryModel, heterogeneous_fleet
+
+
+def main() -> None:
+    vocab = Vocabulary(size=256, num_topics=8)
+    config = deepseek_moe_mini(vocab_size=vocab.size, n_layers=3)
+    total_experts = sum(config.experts_per_layer())
+
+    dataset = make_mmlu_like(vocab=vocab, num_samples=400, seed=1)
+    train, test = dataset.split(seed=1)
+    num_clients = 6
+    shards = partition_dirichlet(train, num_clients, alpha=0.3, seed=1)
+
+    # A fleet of consumer GPUs whose compute varies by +-50%.
+    devices = heterogeneous_fleet(num_clients, seed=1, spread=0.5)
+    memory = MemoryModel(ARCHITECTURE_DESCRIPTORS["deepseek-moe"])
+
+    participants, cost_models = [], {}
+    print(f"{'participant':>12} {'device tflops':>14} {'B_i (full scale)':>18} "
+          f"{'B_i (mini)':>12} {'B_tune (mini)':>14}")
+    for pid, (shard, device) in enumerate(zip(shards, devices)):
+        # Full-scale budgets from the device profile...
+        full_scale = ParticipantResources.from_device(memory, device,
+                                                      round_time_budget_s=600.0,
+                                                      tokens_per_round=16 * 256)
+        # ...mapped proportionally onto the mini model's expert count.
+        scale = total_experts / memory.num_experts_total
+        max_experts = max(int(full_scale.max_experts * scale), config.n_layers * 2)
+        max_tuning = max(int(full_scale.max_tuning_experts * scale), 2)
+        max_tuning = min(max_tuning, max_experts - config.n_layers)
+        resources = ParticipantResources(max_experts=min(max_experts, total_experts),
+                                         max_tuning_experts=max_tuning)
+        print(f"{pid:>12} {device.compute_tflops:>14.1f} {full_scale.max_experts:>18} "
+              f"{resources.max_experts:>12} {resources.max_tuning_experts:>14}")
+        participants.append(Participant(pid, train.subset(shard), device=device,
+                                        resources=resources, seed=pid))
+        cost_models[pid] = CostModel(device, memory)
+
+    server = ParameterServer(MoETransformer(config))
+    tuner = FluxFineTuner(server, participants, test, cost_models=cost_models,
+                          config=RunConfig(batch_size=16, max_local_batches=2,
+                                           learning_rate=1e-2, eval_max_samples=48),
+                          flux_config=FluxConfig())
+    result = tuner.run(num_rounds=4)
+
+    print("\nper-round durations (bounded by the slowest participant):")
+    for round_result in result.rounds:
+        slowest = max(round_result.timeline.participant_times.values())
+        print(f"  round {round_result.round_index}: duration {round_result.round_duration:.1f}s "
+              f"(slowest participant {slowest:.1f}s, metric {round_result.metric_value:.3f})")
+
+    assignments = tuner.current_assignments()
+    print("\ntuning experts assigned in the final round:")
+    for pid, assignment in sorted(assignments.items()):
+        print(f"  participant {pid}: {len(assignment.exploitation)} tuning, "
+              f"{len(assignment.exploration)} exploration "
+              f"(epsilon={assignment.epsilon:.2f})")
+
+
+if __name__ == "__main__":
+    main()

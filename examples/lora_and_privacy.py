@@ -1,0 +1,85 @@
+"""Parameter-efficient and privacy-enhanced federated fine-tuning.
+
+Two optional extensions the paper mentions in passing (§3, §7) and this
+repository implements fully:
+
+* **LoRA adapters on experts** — participants train and exchange only low-rank
+  adapter matrices instead of full expert weights, shrinking upload size.
+* **Differentially-private uploads** — each expert update is clipped and noised
+  with the Gaussian mechanism before leaving the participant.
+
+The example wraps every expert of a mini model with LoRA, trains locally on one
+participant's shard, privatizes the adapter deltas, and reports the parameter
+savings and the (rough) privacy guarantee.
+
+Run with:  python examples/lora_and_privacy.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    MoETransformer,
+    Participant,
+    ParticipantResources,
+    Vocabulary,
+    llama_moe_mini,
+    make_dolly_like,
+)
+from repro.autograd import Adam
+from repro.federated import ExpertUpdate, GaussianMechanism, epsilon_estimate
+from repro.models import apply_lora_to_experts, lora_parameter_savings
+
+
+def main() -> None:
+    vocab = Vocabulary(size=256, num_topics=8)
+    config = llama_moe_mini(vocab_size=vocab.size)
+    model = MoETransformer(config)
+
+    dataset = make_dolly_like(vocab=vocab, num_samples=200, seed=5)
+    train, _ = dataset.split(seed=5)
+    participant = Participant(0, train,
+                              resources=ParticipantResources(max_experts=12,
+                                                              max_tuning_experts=6))
+
+    # 1. Wrap every expert with rank-2 LoRA adapters (base weights frozen).
+    adapters = apply_lora_to_experts(model, rank=2, alpha=8.0, seed=0)
+    savings = lora_parameter_savings(model, rank=2)
+    print(f"experts wrapped with LoRA: {len(adapters)}")
+    print(f"per-expert upload reduction from exchanging adapters only: {savings * 100:.1f}%")
+
+    # 2. Local fine-tuning of the adapters (plus the dense trunk stays frozen).
+    for name, param in model.named_parameters():
+        if "lora_" not in name:
+            param.requires_grad = False
+    trainable = [p for p in model.parameters() if p.requires_grad]
+    optimizer = Adam(trainable, lr=5e-3)
+    batches = participant.local_batches(16, max_batches=3, max_seq_len=config.max_seq_len)
+    for batch in batches:
+        optimizer.zero_grad()
+        loss = model.compute_loss(batch.input_ids, labels=batch.labels,
+                                  attention_mask=batch.attention_mask)
+        loss.backward()
+        optimizer.step()
+    print(f"local LoRA fine-tuning loss: {loss.item():.3f}")
+
+    # 3. Privatize the adapter states before upload.
+    mechanism = GaussianMechanism(clip_norm=1.0, noise_multiplier=0.8, seed=0)
+    updates = []
+    for (layer, expert), lora_expert in list(adapters.items())[:4]:
+        updates.append(ExpertUpdate(participant_id=0, layer=layer, expert=expert,
+                                    state=lora_expert.adapter_state(), weight=1.0))
+    privatized = mechanism.privatize_updates(updates)
+    raw_norm = np.linalg.norm(np.concatenate(
+        [v.reshape(-1) for u in updates for v in u.state.values()]))
+    private_norm = np.linalg.norm(np.concatenate(
+        [v.reshape(-1) for u in privatized for v in u.state.values()]))
+    print(f"adapter update norm before/after privatization: {raw_norm:.3f} -> {private_norm:.3f}")
+
+    epsilon = epsilon_estimate(noise_multiplier=0.8, num_rounds=20, sample_rate=0.5)
+    print(f"rough privacy guarantee after 20 rounds (delta=1e-5): epsilon ≈ {epsilon:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Flux: federated fine-tuning of sparsely-activated (MoE) LLMs on constrained devices.
+
+Reproduction of the EuroSys 2026 paper.  The public API re-exports the pieces a
+downstream user needs to run an end-to-end federated MoE fine-tuning
+experiment: model presets, synthetic benchmark datasets with non-IID
+partitioning, the device/cost simulation, the Flux fine-tuner and the three
+baselines (FMD, FMQ, FMES).
+
+Quickstart::
+
+    from repro import (
+        MoETransformer, llama_moe_mini, make_gsm8k_like, partition_dirichlet,
+        Participant, ParticipantResources, ParameterServer,
+        FluxFineTuner, RunConfig,
+    )
+
+    config = llama_moe_mini()
+    dataset = make_gsm8k_like()
+    train, test = dataset.split()
+    shards = partition_dirichlet(train, num_clients=4, alpha=0.5)
+    participants = [
+        Participant(i, train.subset(shard),
+                    resources=ParticipantResources(max_experts=16, max_tuning_experts=8))
+        for i, shard in enumerate(shards)
+    ]
+    server = ParameterServer(MoETransformer(config))
+    tuner = FluxFineTuner(server, participants, test, config=RunConfig())
+    result = tuner.run(num_rounds=5)
+    print(result.tracker.as_series())
+"""
+
+from .baselines import FMDFineTuner, FMESFineTuner, FMQFineTuner
+from .core import (
+    EpsilonSchedule,
+    FluxConfig,
+    FluxFineTuner,
+    QuantizedProfiler,
+    StaleProfiler,
+)
+from .data import (
+    SyntheticDataset,
+    Vocabulary,
+    make_dataset,
+    make_dolly_like,
+    make_gsm8k_like,
+    make_mmlu_like,
+    make_piqa_like,
+    partition_dirichlet,
+    partition_iid,
+)
+from .federated import (
+    FederatedFineTuner,
+    ParameterServer,
+    Participant,
+    ParticipantResources,
+    RunConfig,
+    RunResult,
+)
+from .metrics import PerformanceTracker, evaluate_model
+from .models import (
+    MoEModelConfig,
+    MoETransformer,
+    customized_moe,
+    deepseek_moe_mini,
+    llama_moe_mini,
+    load_model,
+    save_checkpoint,
+    tiny_moe,
+)
+from .systems import CONSUMER_GPU, L20_SERVER, SMALL_GPU, CostModel, DeviceProfile, MemoryModel
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # models
+    "MoEModelConfig",
+    "MoETransformer",
+    "llama_moe_mini",
+    "deepseek_moe_mini",
+    "tiny_moe",
+    "customized_moe",
+    "save_checkpoint",
+    "load_model",
+    # data
+    "Vocabulary",
+    "SyntheticDataset",
+    "make_dataset",
+    "make_dolly_like",
+    "make_gsm8k_like",
+    "make_mmlu_like",
+    "make_piqa_like",
+    "partition_dirichlet",
+    "partition_iid",
+    # federated substrate
+    "Participant",
+    "ParticipantResources",
+    "ParameterServer",
+    "FederatedFineTuner",
+    "RunConfig",
+    "RunResult",
+    # systems
+    "DeviceProfile",
+    "CONSUMER_GPU",
+    "SMALL_GPU",
+    "L20_SERVER",
+    "MemoryModel",
+    "CostModel",
+    # metrics
+    "evaluate_model",
+    "PerformanceTracker",
+    # Flux + baselines
+    "FluxConfig",
+    "EpsilonSchedule",
+    "QuantizedProfiler",
+    "StaleProfiler",
+    "FluxFineTuner",
+    "FMDFineTuner",
+    "FMQFineTuner",
+    "FMESFineTuner",
+]

@@ -1,0 +1,115 @@
+"""Expert significance analysis: activation frequency is not the whole story.
+
+The paper's Figure 9 shows that some rarely activated experts are nonetheless
+critical: the tokens they process carry high attention scores, so discarding
+them perturbs many downstream representations.  This module measures, for every
+expert, the output error caused by discarding it and relates that to its
+activation frequency and the attention scores of its tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import Batch
+from ..models import ExpertFFN, MoETransformer
+from .activation import ActivationProfile, profile_activation
+from .output_error import output_error
+
+
+@dataclass
+class ExpertSignificance:
+    """Significance measurements for one expert."""
+
+    layer: int
+    expert: int
+    activation_frequency: float
+    attention_score: float
+    discard_error: float
+
+
+def discard_expert_error(model: MoETransformer, batches: Sequence[Batch],
+                         layer: int, expert: int) -> float:
+    """Output error caused by removing one expert (its output becomes zero).
+
+    The expert's down-projection is temporarily zeroed in place — equivalent to
+    skipping its computation while keeping routing unchanged — the error against
+    the intact model is measured, and the weights are restored.
+    """
+    target = model.get_expert(layer, expert)
+    saved = target.w_down.weight.data.copy()
+    reference_outputs = [_masked_embeddings(model, batch) for batch in batches]
+    try:
+        target.w_down.weight.data[...] = 0.0
+        modified_outputs = [_masked_embeddings(model, batch) for batch in batches]
+    finally:
+        target.w_down.weight.data[...] = saved
+    distances = [
+        _mean_cosine_distance(ref, mod, batch)
+        for ref, mod, batch in zip(reference_outputs, modified_outputs, batches)
+    ]
+    return float(np.mean(distances))
+
+
+def _masked_embeddings(model: MoETransformer, batch: Batch) -> np.ndarray:
+    from .output_error import final_embeddings
+
+    return final_embeddings(model, batch)
+
+
+def _mean_cosine_distance(reference: np.ndarray, modified: np.ndarray, batch: Batch) -> float:
+    from .output_error import cosine_distance
+
+    mask = batch.attention_mask.astype(bool)
+    return float(np.mean(cosine_distance(reference, modified)[mask]))
+
+
+def significance_report(model: MoETransformer, batches: Sequence[Batch],
+                        profile: Optional[ActivationProfile] = None,
+                        max_experts: Optional[int] = None) -> List[ExpertSignificance]:
+    """Measure discard error, frequency and attention for (a subset of) experts.
+
+    Experts are scanned in (layer, expert) order; ``max_experts`` bounds the
+    number measured (the discard sweep costs one evaluation per expert).
+    """
+    profile = profile or profile_activation(model, batches)
+    results: List[ExpertSignificance] = []
+    count = 0
+    for layer_index, frequencies in enumerate(profile.frequencies):
+        for expert_index in range(len(frequencies)):
+            if max_experts is not None and count >= max_experts:
+                return results
+            error = discard_expert_error(model, batches, layer_index, expert_index)
+            results.append(ExpertSignificance(
+                layer=layer_index,
+                expert=expert_index,
+                activation_frequency=float(frequencies[expert_index]),
+                attention_score=float(profile.attention_scores[layer_index][expert_index]),
+                discard_error=error,
+            ))
+            count += 1
+    return results
+
+
+def top_significant_experts(report: Sequence[ExpertSignificance], top_k: int = 10
+                            ) -> List[ExpertSignificance]:
+    """The ``top_k`` experts with the largest discard error (Figure 9(b))."""
+    return sorted(report, key=lambda item: -item.discard_error)[:top_k]
+
+
+def frequency_significance_correlation(report: Sequence[ExpertSignificance]) -> float:
+    """Pearson correlation between activation frequency and discard error.
+
+    The paper's point is that this correlation is far from perfect — some
+    low-frequency experts are highly significant.
+    """
+    if len(report) < 2:
+        return 0.0
+    freq = np.asarray([item.activation_frequency for item in report])
+    err = np.asarray([item.discard_error for item in report])
+    if np.std(freq) == 0 or np.std(err) == 0:
+        return 0.0
+    return float(np.corrcoef(freq, err)[0, 1])

@@ -1,0 +1,57 @@
+"""NumPy-based automatic differentiation and neural-network substrate.
+
+This package replaces PyTorch for the reproduction: a reverse-mode autograd
+:class:`Tensor`, ``nn``-style modules, functional ops and optimisers.
+"""
+
+from . import functional
+from .grad_utils import (
+    apply_gradients,
+    collect_gradients,
+    flatten_parameters,
+    gradient_norm,
+    parameter_delta,
+)
+from .nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    RMSNorm,
+    Sequential,
+)
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, scatter_rows, stack, where
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "stack",
+    "concatenate",
+    "where",
+    "scatter_rows",
+    "functional",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "RMSNorm",
+    "Dropout",
+    "ModuleList",
+    "Sequential",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "gradient_norm",
+    "collect_gradients",
+    "apply_gradients",
+    "flatten_parameters",
+    "parameter_delta",
+]

@@ -1,0 +1,121 @@
+"""Functional building blocks on top of :class:`repro.autograd.Tensor`.
+
+These helpers mirror ``torch.nn.functional`` for the operations the MoE
+substrate needs: embedding lookup, cross-entropy loss, layer normalisation and
+dropout.  Each function is differentiable with respect to its tensor inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` selected by integer ``indices``.
+
+    Parameters
+    ----------
+    weight:
+        ``(vocab_size, dim)`` embedding matrix.
+    indices:
+        Integer array of arbitrary shape; the result has shape
+        ``indices.shape + (dim,)``.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    out_data = weight.data[indices]
+    requires = is_grad_enabled() and weight.requires_grad
+    out = Tensor(out_data, requires_grad=requires, _prev=(weight,) if requires else ())
+
+    def _backward() -> None:
+        if weight.requires_grad:
+            grad = np.zeros_like(weight.data)
+            np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, weight.data.shape[-1]))
+            weight._accumulate(grad)
+
+    out._backward = _backward
+    return out
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    ignore_index: Optional[int] = None,
+    reduction: str = "mean",
+) -> Tensor:
+    """Cross-entropy loss over the last axis of ``logits``.
+
+    Parameters
+    ----------
+    logits:
+        ``(..., num_classes)`` unnormalised scores.
+    targets:
+        Integer array broadcastable to ``logits.shape[:-1]``.
+    ignore_index:
+        Target value to exclude from the loss (e.g. padding tokens).
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+
+    if ignore_index is not None:
+        mask = flat_targets != ignore_index
+    else:
+        mask = np.ones_like(flat_targets, dtype=bool)
+    safe_targets = np.where(mask, flat_targets, 0)
+
+    log_probs = flat_logits.log_softmax(axis=-1)
+    rows = np.arange(flat_targets.shape[0])
+    picked = log_probs[rows, safe_targets]
+    losses = -picked * Tensor(mask.astype(np.float64))
+
+    if reduction == "none":
+        return losses
+    if reduction == "sum":
+        return losses.sum()
+    denom = max(int(mask.sum()), 1)
+    return losses.sum() * (1.0 / denom)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation across the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    normed = centered / ((var + eps) ** 0.5)
+    return normed * weight + bias
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
+    """Root-mean-square normalisation (LLaMA-style, no mean subtraction)."""
+    mean_sq = (x * x).mean(axis=-1, keepdims=True)
+    normed = x / ((mean_sq + eps) ** 0.5)
+    return normed * weight
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout: zero activations with probability ``p`` while training."""
+    if not training or p <= 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis`` (thin wrapper kept for API parity)."""
+    return x.softmax(axis=axis)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out

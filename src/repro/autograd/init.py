@@ -1,0 +1,41 @@
+"""Parameter initialisation helpers."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Kaiming/He uniform initialisation keyed on fan-in (the last dimension)."""
+    rng = rng or np.random.default_rng()
+    fan_in = shape[-1] if len(shape) > 1 else shape[0]
+    bound = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation using fan-in + fan-out."""
+    rng = rng or np.random.default_rng()
+    fan_in = shape[-1]
+    fan_out = shape[0]
+    bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def normal_(shape: Tuple[int, ...], mean: float = 0.0, std: float = 0.02,
+            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Gaussian initialisation with the given mean and standard deviation."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros_(shape) -> np.ndarray:
+    """All-zeros initialisation."""
+    return np.zeros(shape)
+
+
+def ones_(shape) -> np.ndarray:
+    """All-ones initialisation."""
+    return np.ones(shape)

@@ -1,0 +1,130 @@
+"""Gradient-descent optimisers (SGD, Adam, AdamW) for the reproduction.
+
+Each optimiser owns a list of parameters and implements ``step()`` /
+``zero_grad()`` mirroring the ``torch.optim`` interface.  Parameters whose
+``requires_grad`` flag is ``False`` or whose gradient is ``None`` are skipped,
+which is how the federated clients implement expert-only / frozen-expert
+updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .nn import Parameter
+
+
+class Optimizer:
+    """Base optimiser holding a parameter list."""
+
+    def __init__(self, params: Iterable[Parameter]) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.params:
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                buf = self._velocity.get(id(param))
+                if buf is None:
+                    buf = np.zeros_like(param.data)
+                buf = self.momentum * buf + grad
+                self._velocity[id(param)] = buf
+                grad = buf
+            param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for param in self.params:
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param))
+            v = self._v.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter, 2019)."""
+
+    def step(self) -> None:
+        if self.weight_decay:
+            for param in self.params:
+                if param.requires_grad and param.grad is not None:
+                    param.data -= self.lr * self.weight_decay * param.data
+        decay, self.weight_decay = self.weight_decay, 0.0
+        try:
+            super().step()
+        finally:
+            self.weight_decay = decay
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Clip the global gradient norm of ``params`` to ``max_norm``.
+
+    Returns the norm before clipping, which callers use as the gradient
+    magnitude signal for expert utility.
+    """
+    params = [p for p in params if p.requires_grad and p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if max_norm > 0 and total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad *= scale
+    return total

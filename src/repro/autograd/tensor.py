@@ -1,0 +1,601 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module provides the :class:`Tensor` class used throughout the
+reproduction in place of ``torch.Tensor``.  A tensor wraps a NumPy array,
+remembers the operation that produced it, and can back-propagate gradients to
+its inputs via :meth:`Tensor.backward`.
+
+The design follows the classic tape-less "define-by-run" approach: each
+operation returns a new tensor whose ``_backward`` closure knows how to push
+the output gradient onto the operands.  ``backward()`` runs a topological sort
+over the recorded graph and calls those closures in reverse order.
+
+Only the operations needed by the MoE transformer substrate are implemented,
+but they are implemented completely (full broadcasting support, stable
+softmax/log-softmax, fancy-index gather/scatter for embeddings and expert
+routing).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_grad_enabled = True
+
+
+class no_grad:
+    """Context manager that disables gradient recording.
+
+    Mirrors ``torch.no_grad``: inside the block all produced tensors have
+    ``requires_grad=False`` and no graph is recorded, which keeps profiling
+    and evaluation passes cheap.
+    """
+
+    def __enter__(self) -> "no_grad":
+        global _grad_enabled
+        self._prev = _grad_enabled
+        _grad_enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _grad_enabled
+        _grad_enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether gradient recording is currently enabled."""
+    return _grad_enabled
+
+
+def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+    if isinstance(data, np.ndarray):
+        if data.dtype == dtype:
+            return data
+        return data.astype(dtype)
+    return np.asarray(data, dtype=dtype)
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so that it has ``shape``.
+
+    NumPy broadcasting may have expanded an operand; the gradient flowing back
+    must be summed over the broadcast dimensions to match the operand's
+    original shape.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions that were added by broadcasting.
+    extra_dims = grad.ndim - len(shape)
+    if extra_dims > 0:
+        grad = grad.sum(axis=tuple(range(extra_dims)))
+    # Sum over dimensions that were 1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode automatic differentiation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Tuple["Tensor", ...] = (),
+        name: str = "",
+    ) -> None:
+        self.data: np.ndarray = _as_array(data)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and _grad_enabled
+        self._backward: Optional[Callable[[], None]] = None
+        self._prev: Tuple[Tensor, ...] = _prev if _grad_enabled else ()
+        self.name = name
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying NumPy array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------- graph glue
+    def _make_child(self, data: np.ndarray, parents: Tuple["Tensor", ...]) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    # --------------------------------------------------------------- backward
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of some downstream scalar with respect to this tensor.
+            Defaults to ones (only valid for scalar tensors, matching the
+            PyTorch convention).
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = _as_array(grad)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    # ----------------------------------------------------------- constructors
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(*shape: int, requires_grad: bool = False, rng: Optional[np.random.Generator] = None) -> "Tensor":
+        rng = rng or np.random.default_rng()
+        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------- arithmetic
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data + other.data, (self, other))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out._backward = _backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = self._make_child(-self.data, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        out._backward = _backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data * other.data, (self, other))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = _backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data / other.data, (self, other))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        out._backward = _backward
+        return out
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out = self._make_child(self.data ** exponent, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = _backward
+        return out
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = self._make_child(self.data @ other.data, (self, other))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                if other.data.ndim >= 2:
+                    grad_self = out.grad @ np.swapaxes(other.data, -1, -2)
+                else:
+                    grad_self = np.outer(out.grad, other.data) if self.data.ndim > 1 else out.grad * other.data
+                self._accumulate(_unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                if self.data.ndim >= 2:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ out.grad
+                else:
+                    grad_other = np.outer(self.data, out.grad) if other.data.ndim > 1 else self.data * out.grad
+                other._accumulate(_unbroadcast(grad_other, other.shape))
+
+        out._backward = _backward
+        return out
+
+    # -------------------------------------------------------------- reductions
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make_child(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = list(out.grad.shape)
+                for a in sorted(axes):
+                    shape.insert(a, 1)
+                grad = grad.reshape(shape)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        out._backward = _backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = self._make_child(out_data, (self,))
+
+        def _backward() -> None:
+            if not self.requires_grad:
+                return
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(self.data.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            grad = out.grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.data.ndim for a in axes)
+                shape = list(grad.shape)
+                for a in sorted(axes):
+                    shape.insert(a, 1)
+                grad = grad.reshape(shape)
+            self._accumulate(mask * grad)
+
+        out._backward = _backward
+        return out
+
+    # ----------------------------------------------------------- element-wise
+    def exp(self) -> "Tensor":
+        out = self._make_child(np.exp(self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data)
+
+        out._backward = _backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make_child(np.log(self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out._backward = _backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out = self._make_child(np.tanh(self.data), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out.data ** 2))
+
+        out._backward = _backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        value = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(value, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        out._backward = _backward
+        return out
+
+    def relu(self) -> "Tensor":
+        out = self._make_child(np.maximum(self.data, 0.0), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (self.data > 0))
+
+        out._backward = _backward
+        return out
+
+    def silu(self) -> "Tensor":
+        """SiLU / swish activation, used by LLaMA-style expert FFNs."""
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out = self._make_child(self.data * sig, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (sig * (1.0 + self.data * (1.0 - sig))))
+
+        out._backward = _backward
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        c = np.sqrt(2.0 / np.pi)
+        inner = c * (self.data + 0.044715 * self.data ** 3)
+        tanh_inner = np.tanh(inner)
+        value = 0.5 * self.data * (1.0 + tanh_inner)
+        out = self._make_child(value, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                d_inner = c * (1.0 + 3 * 0.044715 * self.data ** 2)
+                deriv = 0.5 * (1.0 + tanh_inner) + 0.5 * self.data * (1.0 - tanh_inner ** 2) * d_inner
+                self._accumulate(out.grad * deriv)
+
+        out._backward = _backward
+        return out
+
+    # -------------------------------------------------------- shape operations
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make_child(self.data.reshape(shape), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = _backward
+        return out
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        out = self._make_child(self.data.transpose(axes), (self,))
+        inverse = np.argsort(axes)
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = _backward
+        return out
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        out = self._make_child(np.swapaxes(self.data, axis1, axis2), (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                self._accumulate(np.swapaxes(out.grad, axis1, axis2))
+
+        out._backward = _backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = self._make_child(self.data[index], (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                grad = np.zeros_like(self.data)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out._backward = _backward
+        return out
+
+    # ----------------------------------------------------- composite functions
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        value = exp / exp.sum(axis=axis, keepdims=True)
+        out = self._make_child(value, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                s = out.data
+                dot = (out.grad * s).sum(axis=axis, keepdims=True)
+                self._accumulate(s * (out.grad - dot))
+
+        out._backward = _backward
+        return out
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - logsumexp
+        out = self._make_child(value, (self,))
+
+        def _backward() -> None:
+            if self.requires_grad:
+                softmax = np.exp(out.data)
+                grad_sum = out.grad.sum(axis=axis, keepdims=True)
+                self._accumulate(out.grad - softmax * grad_sum)
+
+        out._backward = _backward
+        return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+    requires = _grad_enabled and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
+
+    def _backward() -> None:
+        grads = np.split(out.grad, len(tensors), axis=axis)
+        for tensor, grad in zip(tensors, grads):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(grad, axis=axis))
+
+    out._backward = _backward
+    return out
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along an existing axis with gradient support."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    requires = _grad_enabled and any(t.requires_grad for t in tensors)
+    out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def _backward() -> None:
+        for tensor, start, end in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * out.grad.ndim
+                slicer[axis] = slice(start, end)
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+    out._backward = _backward
+    return out
+
+
+def scatter_rows(src: Tensor, rows: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter-add rows of ``src`` into a new ``(num_rows, dim)`` tensor.
+
+    ``out[rows[i]] += src[i]`` for every row of ``src``.  The backward pass
+    gathers the output gradient back to the source rows, which makes this the
+    building block for differentiable token → expert dispatch/combine.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 1 or rows.shape[0] != src.data.shape[0]:
+        raise ValueError("rows must be a 1-D index array matching src's first dimension")
+    data = np.zeros((num_rows,) + src.data.shape[1:], dtype=src.data.dtype)
+    np.add.at(data, rows, src.data)
+    requires = _grad_enabled and src.requires_grad
+    out = Tensor(data, requires_grad=requires, _prev=(src,) if requires else ())
+
+    def _backward() -> None:
+        if src.requires_grad:
+            src._accumulate(out.grad[rows])
+
+    out._backward = _backward
+    return out
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Element-wise select with gradient flow to both branches."""
+    a = a if isinstance(a, Tensor) else Tensor(a)
+    b = b if isinstance(b, Tensor) else Tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+    requires = _grad_enabled and (a.requires_grad or b.requires_grad)
+    out = Tensor(data, requires_grad=requires, _prev=(a, b) if requires else ())
+
+    def _backward() -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(out.grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(out.grad * (~cond), b.shape))
+
+    out._backward = _backward
+    return out

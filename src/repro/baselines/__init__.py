@@ -1,0 +1,16 @@
+"""Baseline federated MoE fine-tuners compared against Flux in the paper."""
+
+from .base import communication_seconds, expert_updates_from_model
+from .fmd import FMDFineTuner
+from .fmes import FMESFineTuner, build_selected_model, select_top_activated
+from .fmq import FMQFineTuner
+
+__all__ = [
+    "FMDFineTuner",
+    "FMQFineTuner",
+    "FMESFineTuner",
+    "select_top_activated",
+    "build_selected_model",
+    "expert_updates_from_model",
+    "communication_seconds",
+]

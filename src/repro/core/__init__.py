@@ -1,0 +1,66 @@
+"""Flux core: the paper's primary contribution.
+
+Quantization-based (stale) profiling, adaptive layer-aware merging of
+non-tuning experts, and dynamic exploration/exploitation expert role
+assignment, assembled into the :class:`FluxFineTuner` federated fine-tuner.
+"""
+
+from .assignment import ExpertRoleAssigner, RoleAssignment, solve_candidate_selection
+from .clustering import ClusteringResult, cluster_experts, pca_reduce
+from .config import EpsilonSchedule, FluxConfig
+from .finetuner import FluxFineTuner
+from .flux_client import FluxClientState, FluxRoundOutput
+from .gradient_estimation import (
+    GradientEstimate,
+    estimate_expert_gradient,
+    gradient_cosine_distance,
+    true_expert_gradient,
+)
+from .layer_budget import (
+    adaptive_layer_budgets,
+    layer_budgets,
+    single_expert_budgets,
+    uniform_layer_budgets,
+)
+from .merging import (
+    CompactModelPlan,
+    build_compact_model,
+    merge_cluster,
+    merge_weights,
+    plan_compact_model,
+)
+from .profiling import ProfilingOutcome, QuantizedProfiler, StaleProfiler
+from .utility import UtilityTracker, expert_utility, normalize_utilities
+
+__all__ = [
+    "FluxConfig",
+    "EpsilonSchedule",
+    "QuantizedProfiler",
+    "StaleProfiler",
+    "ProfilingOutcome",
+    "adaptive_layer_budgets",
+    "uniform_layer_budgets",
+    "single_expert_budgets",
+    "layer_budgets",
+    "cluster_experts",
+    "pca_reduce",
+    "ClusteringResult",
+    "merge_weights",
+    "merge_cluster",
+    "plan_compact_model",
+    "build_compact_model",
+    "CompactModelPlan",
+    "expert_utility",
+    "normalize_utilities",
+    "UtilityTracker",
+    "estimate_expert_gradient",
+    "true_expert_gradient",
+    "gradient_cosine_distance",
+    "GradientEstimate",
+    "ExpertRoleAssigner",
+    "RoleAssignment",
+    "solve_candidate_selection",
+    "FluxClientState",
+    "FluxRoundOutput",
+    "FluxFineTuner",
+]

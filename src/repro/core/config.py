@@ -1,0 +1,91 @@
+"""Configuration of the Flux system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class EpsilonSchedule:
+    """Exploration/exploitation balance over rounds (the paper's dynamic ε).
+
+    ε is the *exploitation* fraction: a fraction ε of each participant's
+    candidate experts is chosen by utility, the remaining (1-ε) is sampled at
+    random for exploration.  The dynamic schedule increases ε as utility
+    estimates become more reliable.
+    """
+
+    initial: float = 0.3
+    final: float = 0.9
+    warmup_rounds: int = 10
+    dynamic: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("initial", "final"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} epsilon must be in [0, 1]")
+        if self.warmup_rounds < 1:
+            raise ValueError("warmup_rounds must be positive")
+
+    def value(self, round_index: int) -> float:
+        """ε for a given round."""
+        if not self.dynamic:
+            return self.initial
+        progress = min(round_index / self.warmup_rounds, 1.0)
+        return self.initial + (self.final - self.initial) * progress
+
+    @classmethod
+    def fixed(cls, epsilon: float) -> "EpsilonSchedule":
+        """A constant-ε schedule (used by the Figure 19 ablation)."""
+        return cls(initial=epsilon, final=epsilon, dynamic=False)
+
+
+@dataclass
+class FluxConfig:
+    """All knobs of the Flux pipeline.
+
+    Defaults follow the paper: 4-bit profiling with stale overlap, adaptive
+    per-layer merge budgets, similarity clustering with importance-based
+    (frequency x attention) merge weights, and dynamic ε role assignment with
+    forward-only gradient estimation for exploration experts.
+    """
+
+    # --- profiling (§4)
+    profiling_bits: int = 4
+    stale_profiling: bool = True
+    profiling_max_batches: int = 4
+
+    # --- merging (§5)
+    layer_budget_strategy: str = "adaptive"    # "adaptive" | "uniform" | "single"
+    merging_strategy: str = "attention_frequency"  # "attention_frequency" | "frequency" | "average"
+    clustering_mode: str = "fused"             # "fused" | "per_layer"
+    pca_components: int = 8
+    kmeans_iterations: int = 10
+
+    # --- role assignment (§6)
+    epsilon: EpsilonSchedule = field(default_factory=EpsilonSchedule)
+    exploration_perturbations: int = 2
+    exploration_sigma: float = 1e-2
+    exploration_probe_samples: int = 4   # samples used per forward-only gradient probe
+    utility_smoothing: float = 0.5   # EMA factor when refreshing utilities
+
+    # --- misc
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.layer_budget_strategy not in ("adaptive", "uniform", "single"):
+            raise ValueError(f"unknown layer budget strategy {self.layer_budget_strategy!r}")
+        if self.merging_strategy not in ("attention_frequency", "frequency", "average"):
+            raise ValueError(f"unknown merging strategy {self.merging_strategy!r}")
+        if self.clustering_mode not in ("fused", "per_layer"):
+            raise ValueError(f"unknown clustering mode {self.clustering_mode!r}")
+        if self.profiling_bits not in (2, 3, 4, 8):
+            raise ValueError("profiling_bits must be one of 2, 3, 4, 8")
+        if not 0.0 <= self.utility_smoothing <= 1.0:
+            raise ValueError("utility_smoothing must be in [0, 1]")
+        if self.exploration_perturbations < 1:
+            raise ValueError("exploration_perturbations must be positive")
+        if self.exploration_probe_samples < 1:
+            raise ValueError("exploration_probe_samples must be positive")

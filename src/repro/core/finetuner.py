@@ -1,0 +1,103 @@
+"""The Flux federated fine-tuner: ties profiling, merging and assignment together.
+
+:class:`FluxFineTuner` plugs the Flux participant pipeline into the shared
+federated round loop (:class:`~repro.federated.orchestrator.FederatedFineTuner`).
+Each round the server-side role assigner turns the latest per-participant
+utilities into exploitation/exploration sets under every participant's tuning
+budget; participants then profile (stale), merge, fine-tune and probe, and the
+server FedAvg-aggregates the uploaded tuning-expert updates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..data import SyntheticDataset
+from ..federated import (
+    FederatedFineTuner,
+    Participant,
+    ParticipantRoundResult,
+    ParameterServer,
+    RunConfig,
+)
+from ..systems import CostModel
+from .assignment import ExpertRoleAssigner, RoleAssignment
+from .config import FluxConfig
+from .flux_client import FluxClientState
+
+
+class FluxFineTuner(FederatedFineTuner):
+    """Federated MoE fine-tuning with the full Flux pipeline."""
+
+    name = "flux"
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        participants: Sequence[Participant],
+        test_dataset: SyntheticDataset,
+        cost_models: Optional[Dict[int, CostModel]] = None,
+        config: Optional[RunConfig] = None,
+        flux_config: Optional[FluxConfig] = None,
+    ) -> None:
+        super().__init__(server, participants, test_dataset, cost_models=cost_models, config=config)
+        self.flux_config = flux_config or FluxConfig()
+        self.states: Dict[int, FluxClientState] = {
+            participant.participant_id: FluxClientState(participant, self.flux_config)
+            for participant in self.participants
+        }
+        all_experts = list(server.global_model.iter_expert_ids())
+        self.assigner = ExpertRoleAssigner(all_experts, epsilon=self.flux_config.epsilon,
+                                           seed=self.flux_config.seed)
+        self._assignments: Dict[int, RoleAssignment] = {}
+
+    # ------------------------------------------------------------------ hooks
+    def before_round(self, round_index: int, selected: Sequence[Participant]) -> None:
+        """Server-side expert role assignment from the latest utility reports."""
+        utilities = {
+            participant.participant_id: self.states[participant.participant_id].report_utilities()
+            for participant in selected
+        }
+        budgets = {
+            participant.participant_id: participant.resources.max_tuning_experts
+            for participant in selected
+        }
+        self._assignments = self.assigner.assign(round_index, utilities, budgets)
+
+    def participant_round(self, participant: Participant, round_index: int) -> ParticipantRoundResult:
+        state = self.states[participant.participant_id]
+        assignment = self._assignments.get(participant.participant_id)
+        if assignment is None:
+            # Participant was selected without a prior assignment (should not
+            # happen in the normal loop); fall back to a fresh assignment.
+            utilities = {participant.participant_id: state.report_utilities()}
+            budgets = {participant.participant_id: participant.resources.max_tuning_experts}
+            assignment = self.assigner.assign(round_index, utilities, budgets)[
+                participant.participant_id]
+
+        output = state.run_round(
+            global_model=self.server.global_model,
+            assignment=assignment,
+            learning_rate=self.config.learning_rate,
+            batch_size=self.config.batch_size,
+            max_batches=self.config.max_local_batches,
+            local_iterations=self.config.local_iterations,
+            cost_model=self.cost_model_for(participant),
+        )
+        return ParticipantRoundResult(
+            updates=output.updates,
+            breakdown=output.breakdown,
+            train_loss=output.train_loss,
+            overlap_profiling=self.flux_config.stale_profiling,
+            report={
+                "utilities": output.utilities,
+                "num_local_experts": output.num_local_experts,
+                "num_tuning_experts": output.num_tuning_experts,
+                "epsilon": assignment.epsilon,
+            },
+        )
+
+    # -------------------------------------------------------------- inspection
+    def current_assignments(self) -> Dict[int, RoleAssignment]:
+        """Most recent role assignments (for logging and tests)."""
+        return dict(self._assignments)

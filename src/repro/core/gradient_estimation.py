@@ -1,0 +1,132 @@
+"""Forward-only gradient estimation for exploration experts (paper §6.2).
+
+Exploration experts only need a gradient-magnitude estimate to refresh their
+utility, so back-propagating through them would waste the very compute Flux is
+trying to save.  Following BAFFLE/forward-gradient practice, the expert's
+weights are perturbed with Gaussian noise and the loss difference between
+positive and negative perturbations gives an unbiased directional-derivative
+estimate; averaging over several perturbations yields an estimated gradient
+vector (and its norm) without any backward pass through the expert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..data import Batch
+from ..models import MoETransformer
+
+
+@dataclass
+class GradientEstimate:
+    """Estimated gradient of one expert's parameters."""
+
+    layer: int
+    expert: int
+    gradient: Dict[str, np.ndarray]
+    num_perturbations: int
+
+    def norm(self) -> float:
+        total = sum(float((g ** 2).sum()) for g in self.gradient.values())
+        return float(np.sqrt(total))
+
+    def flatten(self) -> np.ndarray:
+        return np.concatenate([g.reshape(-1) for g in self.gradient.values()])
+
+
+def _mean_loss(model: MoETransformer, batches: Sequence[Batch]) -> float:
+    with no_grad():
+        losses = [
+            model.compute_loss(batch.input_ids, labels=batch.labels,
+                               attention_mask=batch.attention_mask).item()
+            for batch in batches
+        ]
+    return float(np.mean(losses))
+
+
+def estimate_expert_gradient(
+    model: MoETransformer,
+    batches: Sequence[Batch],
+    layer: int,
+    expert: int,
+    num_perturbations: int = 4,
+    sigma: float = 1e-2,
+    seed: int = 0,
+) -> GradientEstimate:
+    """Estimate the loss gradient w.r.t. one expert's weights, forward passes only.
+
+    For each perturbation a Gaussian direction ``delta`` is sampled per weight
+    matrix; the symmetric loss difference ``(L(w + sigma*delta) - L(w -
+    sigma*delta)) / (2*sigma)`` scales ``delta`` to produce one gradient
+    sample.  Samples are averaged over ``num_perturbations`` draws.  The
+    expert's weights are restored exactly afterwards.
+    """
+    if num_perturbations < 1:
+        raise ValueError("num_perturbations must be positive")
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if not batches:
+        raise ValueError("gradient estimation requires at least one batch")
+
+    rng = np.random.default_rng(seed)
+    target = model.get_expert(layer, expert)
+    original = target.state()
+    accumulated = {name: np.zeros_like(value) for name, value in original.items()}
+
+    try:
+        for _ in range(num_perturbations):
+            direction = {name: rng.standard_normal(value.shape) for name, value in original.items()}
+            target.load_state({name: original[name] + sigma * direction[name] for name in original})
+            loss_plus = _mean_loss(model, batches)
+            target.load_state({name: original[name] - sigma * direction[name] for name in original})
+            loss_minus = _mean_loss(model, batches)
+            coefficient = (loss_plus - loss_minus) / (2.0 * sigma)
+            for name in original:
+                accumulated[name] += coefficient * direction[name]
+    finally:
+        target.load_state(original)
+
+    gradient = {name: value / num_perturbations for name, value in accumulated.items()}
+    return GradientEstimate(layer=layer, expert=expert, gradient=gradient,
+                            num_perturbations=num_perturbations)
+
+
+def true_expert_gradient(model: MoETransformer, batches: Sequence[Batch],
+                         layer: int, expert: int) -> Dict[str, np.ndarray]:
+    """Ground-truth expert gradient via backpropagation (for Figure 18)."""
+    if not batches:
+        raise ValueError("gradient computation requires at least one batch")
+    model.zero_grad()
+    for param in model.parameters():
+        param.requires_grad = False
+    target = model.get_expert(layer, expert)
+    for param in target.parameters():
+        param.requires_grad = True
+
+    for batch in batches:
+        loss = model.compute_loss(batch.input_ids, labels=batch.labels,
+                                  attention_mask=batch.attention_mask)
+        loss = loss * (1.0 / len(batches))
+        loss.backward()
+
+    names = ("w_gate", "w_up", "w_down")
+    gradient = {}
+    for name in names:
+        param = getattr(target, name).weight
+        gradient[name] = param.grad.copy() if param.grad is not None else np.zeros_like(param.data)
+    model.zero_grad()
+    return gradient
+
+
+def gradient_cosine_distance(estimate: GradientEstimate, truth: Dict[str, np.ndarray]) -> float:
+    """Cosine distance between an estimated and the true expert gradient."""
+    est = estimate.flatten()
+    ref = np.concatenate([truth[name].reshape(-1) for name in estimate.gradient])
+    denom = np.linalg.norm(est) * np.linalg.norm(ref)
+    if denom == 0:
+        return 1.0
+    return float(1.0 - est @ ref / denom)

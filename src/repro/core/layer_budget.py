@@ -1,0 +1,107 @@
+"""Per-layer merge budgets for non-tuning experts (paper §5.1, Eq. 1).
+
+Given a participant's total non-tuning budget :math:`B^{non}_i`, Flux allocates
+per-layer budgets so that (a) earlier layers — whose merge errors propagate and
+amplify through the rest of the network — keep more experts, and (b) layers
+with balanced activation (high merge damage) keep more experts than layers with
+skewed activation.  Equation (1) of the paper:
+
+.. math::
+    B^{non}_i(l) = \\left\\lfloor \\frac{b^l_i}{\\sum_k b^k_i} B^{non}_i \\right\\rfloor,
+    \\qquad b^l_i = \\frac{L - l + 1}{v^l_i}
+
+where :math:`v^l_i` is the variance of layer ``l``'s activation frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def adaptive_layer_budgets(total_budget: int, frequencies: Sequence[np.ndarray],
+                           min_per_layer: int = 1, epsilon: float = 1e-6) -> List[int]:
+    """Allocate ``total_budget`` merged-expert slots across layers per Eq. (1)."""
+    num_layers = len(frequencies)
+    _validate(total_budget, num_layers, min_per_layer)
+    depth_weight = np.arange(num_layers, 0, -1, dtype=np.float64)  # L - l + 1
+    variances = np.asarray([float(np.var(freq)) for freq in frequencies]) + epsilon
+    scores = depth_weight / variances
+    return _largest_remainder(scores, total_budget, num_layers, min_per_layer, frequencies)
+
+
+def uniform_layer_budgets(total_budget: int, num_layers: int,
+                          min_per_layer: int = 1) -> List[int]:
+    """Spread the budget evenly across layers (the 'Uniform layer size' baseline)."""
+    _validate(total_budget, num_layers, min_per_layer)
+    scores = np.ones(num_layers)
+    return _largest_remainder(scores, total_budget, num_layers, min_per_layer, None)
+
+
+def single_expert_budgets(num_layers: int) -> List[int]:
+    """One merged expert per layer (the 'Single non-tuning expert' baseline)."""
+    if num_layers < 1:
+        raise ValueError("num_layers must be positive")
+    return [1] * num_layers
+
+
+def layer_budgets(strategy: str, total_budget: int, frequencies: Sequence[np.ndarray],
+                  min_per_layer: int = 1) -> List[int]:
+    """Dispatch on the configured layer-budget strategy."""
+    if strategy == "adaptive":
+        return adaptive_layer_budgets(total_budget, frequencies, min_per_layer=min_per_layer)
+    if strategy == "uniform":
+        return uniform_layer_budgets(total_budget, len(frequencies), min_per_layer=min_per_layer)
+    if strategy == "single":
+        return single_expert_budgets(len(frequencies))
+    raise ValueError(f"unknown layer budget strategy {strategy!r}")
+
+
+def _validate(total_budget: int, num_layers: int, min_per_layer: int) -> None:
+    if num_layers < 1:
+        raise ValueError("at least one layer is required")
+    if min_per_layer < 1:
+        raise ValueError("min_per_layer must be at least 1")
+    if total_budget < num_layers * min_per_layer:
+        raise ValueError(
+            f"total budget {total_budget} cannot give every one of {num_layers} layers "
+            f"at least {min_per_layer} merged expert(s)"
+        )
+
+
+def _largest_remainder(scores: np.ndarray, total_budget: int, num_layers: int,
+                       min_per_layer: int, frequencies: Optional[Sequence[np.ndarray]]) -> List[int]:
+    """Proportional allocation with a per-layer floor, per-layer capacity cap and exact total.
+
+    A layer can never need more merged slots than it has experts, so budgets
+    are capped at the layer's expert count and the excess is redistributed to
+    layers that still have headroom (highest score first).
+    """
+    scores = np.maximum(np.asarray(scores, dtype=np.float64), 1e-12)
+    if frequencies is not None:
+        capacities = np.asarray([len(freq) for freq in frequencies], dtype=int)
+    else:
+        capacities = np.full(num_layers, np.iinfo(np.int64).max, dtype=np.int64)
+    remaining = total_budget - num_layers * min_per_layer
+    shares = scores / scores.sum() * remaining
+    budgets = np.floor(shares).astype(int) + min_per_layer
+    leftover = total_budget - budgets.sum()
+    if leftover > 0:
+        fractional = shares - np.floor(shares)
+        for layer in np.argsort(-fractional)[:leftover]:
+            budgets[layer] += 1
+    # Enforce capacity caps and redistribute the excess.
+    budgets = np.minimum(budgets, capacities)
+    deficit = total_budget - int(budgets.sum())
+    if deficit > 0:
+        for layer in np.argsort(-scores):
+            headroom = int(capacities[layer] - budgets[layer])
+            if headroom <= 0:
+                continue
+            grant = min(headroom, deficit)
+            budgets[layer] += grant
+            deficit -= grant
+            if deficit == 0:
+                break
+    return budgets.tolist()

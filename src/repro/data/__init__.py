@@ -1,0 +1,41 @@
+"""Synthetic data substrate: vocab, task generators, datasets, non-IID partitioning."""
+
+from .datasets import (
+    DATASET_FACTORIES,
+    DATASET_SPECS,
+    DatasetSpec,
+    SyntheticDataset,
+    make_dataset,
+    make_dolly_like,
+    make_gsm8k_like,
+    make_mmlu_like,
+    make_piqa_like,
+)
+from .loader import IGNORE_INDEX, Batch, collate, iter_batches, make_batches
+from .partition import partition_dirichlet, partition_iid, partition_statistics
+from .synthetic import Sample, SyntheticTaskGenerator, TaskType
+from .vocab import Vocabulary
+
+__all__ = [
+    "Vocabulary",
+    "Sample",
+    "SyntheticTaskGenerator",
+    "TaskType",
+    "DatasetSpec",
+    "SyntheticDataset",
+    "DATASET_SPECS",
+    "DATASET_FACTORIES",
+    "make_dataset",
+    "make_dolly_like",
+    "make_gsm8k_like",
+    "make_mmlu_like",
+    "make_piqa_like",
+    "partition_dirichlet",
+    "partition_iid",
+    "partition_statistics",
+    "Batch",
+    "collate",
+    "iter_batches",
+    "make_batches",
+    "IGNORE_INDEX",
+]

@@ -1,0 +1,34 @@
+"""Federated learning substrate: clients, server, aggregation, round loop."""
+
+from .aggregation import ExpertKey, ExpertUpdate, apply_fedavg, fedavg_states, group_updates
+from .client import LocalTrainResult, Participant, ParticipantResources
+from .communication import ExchangePlan
+from .privacy import GaussianMechanism, epsilon_estimate
+from .orchestrator import (
+    FederatedFineTuner,
+    ParticipantRoundResult,
+    RoundResult,
+    RunConfig,
+    RunResult,
+)
+from .server import ParameterServer
+
+__all__ = [
+    "ExpertKey",
+    "ExpertUpdate",
+    "fedavg_states",
+    "group_updates",
+    "apply_fedavg",
+    "Participant",
+    "ParticipantResources",
+    "LocalTrainResult",
+    "ExchangePlan",
+    "GaussianMechanism",
+    "epsilon_estimate",
+    "ParameterServer",
+    "FederatedFineTuner",
+    "RunConfig",
+    "RunResult",
+    "RoundResult",
+    "ParticipantRoundResult",
+]

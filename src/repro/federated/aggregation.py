@@ -1,0 +1,80 @@
+"""Parameter aggregation strategies (FedAvg over expert updates).
+
+Following the paper, participants exchange only *expert* parameters: each
+participant uploads the post-training state of the experts it tuned plus a
+weight (how many tokens contributed).  The server performs weighted FedAvg per
+expert and writes the result back into the global model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..models import MoETransformer
+
+ExpertKey = Tuple[int, int]  # (layer index, expert index)
+
+
+@dataclass
+class ExpertUpdate:
+    """One participant's update for one expert."""
+
+    participant_id: int
+    layer: int
+    expert: int
+    state: Dict[str, np.ndarray]
+    weight: float = 1.0
+
+    @property
+    def key(self) -> ExpertKey:
+        return (self.layer, self.expert)
+
+
+def fedavg_states(states: Sequence[Dict[str, np.ndarray]],
+                  weights: Sequence[float]) -> Dict[str, np.ndarray]:
+    """Weighted average of several identically shaped state dicts."""
+    if not states:
+        raise ValueError("cannot average an empty list of states")
+    if len(states) != len(weights):
+        raise ValueError("one weight per state is required")
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("aggregation weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        weights = np.ones(len(states)) / len(states)
+    else:
+        weights = weights / total
+    keys = states[0].keys()
+    averaged: Dict[str, np.ndarray] = {}
+    for key in keys:
+        stacked = np.stack([np.asarray(state[key]) for state in states])
+        averaged[key] = np.tensordot(weights, stacked, axes=1)
+    return averaged
+
+
+def group_updates(updates: Iterable[ExpertUpdate]) -> Dict[ExpertKey, List[ExpertUpdate]]:
+    """Group expert updates by (layer, expert)."""
+    grouped: Dict[ExpertKey, List[ExpertUpdate]] = {}
+    for update in updates:
+        grouped.setdefault(update.key, []).append(update)
+    return grouped
+
+
+def apply_fedavg(model: MoETransformer, updates: Iterable[ExpertUpdate]) -> Dict[ExpertKey, int]:
+    """FedAvg every expert that received updates and load it into ``model``.
+
+    Returns a mapping from expert key to the number of participants that
+    contributed to it (used for logging and cost accounting).
+    """
+    grouped = group_updates(updates)
+    contributions: Dict[ExpertKey, int] = {}
+    for (layer, expert), expert_updates in grouped.items():
+        averaged = fedavg_states([u.state for u in expert_updates],
+                                 [u.weight for u in expert_updates])
+        model.load_expert_state(layer, expert, averaged)
+        contributions[(layer, expert)] = len(expert_updates)
+    return contributions

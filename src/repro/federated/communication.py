@@ -1,0 +1,31 @@
+"""Communication accounting for parameter exchange.
+
+Thin helpers translating "how many experts moved between a participant and the
+server" into bytes and (via the participant's device profile) seconds.  The
+orchestrator charges these times into each round's cost breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..systems import CostModel
+
+
+@dataclass
+class ExchangePlan:
+    """Experts a participant downloads and uploads in one round."""
+
+    download_experts: int
+    upload_experts: int
+    bytes_per_param: int = 2
+
+    def communication_seconds(self, cost_model: CostModel) -> float:
+        """Total transfer time for this exchange on the participant's link."""
+        down = cost_model.download_time(self.download_experts, bytes_per_param=self.bytes_per_param)
+        up = cost_model.upload_time(self.upload_experts, bytes_per_param=self.bytes_per_param)
+        return down + up
+
+    def total_bytes(self, cost_model: CostModel) -> float:
+        per_expert = cost_model.memory.params_per_expert * self.bytes_per_param
+        return (self.download_experts + self.upload_experts) * per_expert

@@ -1,0 +1,219 @@
+"""The federated fine-tuning round loop shared by Flux and all baselines.
+
+:class:`FederatedFineTuner` owns everything common to every method: participant
+sampling, the synchronous round structure, FedAvg aggregation, simulated-time
+accounting and per-round evaluation.  Concrete methods (Flux, FMD, FMQ, FMES)
+implement a single hook — :meth:`FederatedFineTuner.participant_round` — that
+runs one participant's local work and returns its expert updates plus a cost
+breakdown.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import SyntheticDataset
+from ..metrics import PerformanceTracker, evaluate_model
+from ..models import MoETransformer
+from ..systems import CostModel, RoundCostBreakdown, RoundTimeline, RunTimeline, SimulatedClock
+from .aggregation import ExpertUpdate
+from .client import Participant
+from .server import ParameterServer
+
+
+@dataclass
+class RunConfig:
+    """Hyper-parameters of one federated fine-tuning run.
+
+    Mirrors the paper's §8.1 settings (mini-batch 16, one local iteration per
+    round, 20 participants per round) with a learning rate recalibrated for the
+    mini models.
+    """
+
+    batch_size: int = 16
+    local_iterations: int = 1
+    learning_rate: float = 5e-3
+    max_local_batches: Optional[int] = 2
+    participants_per_round: Optional[int] = None   # None = all participants
+    eval_batch_size: int = 16
+    eval_max_samples: Optional[int] = 64
+    target_relative_accuracy: float = 1.0
+    seed: int = 0
+
+
+@dataclass
+class ParticipantRoundResult:
+    """What one participant returns to the server at the end of a round."""
+
+    updates: List[ExpertUpdate]
+    breakdown: RoundCostBreakdown
+    train_loss: float
+    overlap_profiling: bool = False
+    #: optional scalar report (e.g. expert utilities) consumed by the method
+    report: Dict = field(default_factory=dict)
+
+
+@dataclass
+class RoundResult:
+    """Aggregate outcome of one federated round."""
+
+    round_index: int
+    train_loss: float
+    metric_value: float
+    simulated_time: float
+    round_duration: float
+    timeline: RoundTimeline
+
+
+@dataclass
+class RunResult:
+    """Full outcome of a federated fine-tuning run."""
+
+    method: str
+    tracker: PerformanceTracker
+    timeline: RunTimeline
+    rounds: List[RoundResult]
+
+    @property
+    def total_time(self) -> float:
+        return self.timeline.total_time()
+
+    def time_to_target(self) -> Optional[float]:
+        return self.tracker.time_to_target()
+
+    def final_metric(self) -> float:
+        return self.tracker.final_metric()
+
+
+class FederatedFineTuner(abc.ABC):
+    """Base class implementing the synchronous federated round loop."""
+
+    #: human-readable method name used in benchmark reports
+    name: str = "base"
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        participants: Sequence[Participant],
+        test_dataset: SyntheticDataset,
+        cost_models: Optional[Dict[int, CostModel]] = None,
+        config: Optional[RunConfig] = None,
+    ) -> None:
+        if not participants:
+            raise ValueError("at least one participant is required")
+        self.server = server
+        self.participants = list(participants)
+        self.test_dataset = test_dataset
+        self.cost_models = cost_models or {}
+        self.config = config or RunConfig()
+        self.clock = SimulatedClock()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ hooks
+    @abc.abstractmethod
+    def participant_round(self, participant: Participant, round_index: int) -> ParticipantRoundResult:
+        """Run one participant's local work for this round."""
+
+    def before_round(self, round_index: int, selected: Sequence[Participant]) -> None:
+        """Hook invoked before local work starts (e.g. Flux's role assignment)."""
+
+    def after_aggregation(self, round_index: int,
+                          results: Dict[int, ParticipantRoundResult]) -> None:
+        """Hook invoked after the server aggregated this round's updates."""
+
+    # ------------------------------------------------------------------- loop
+    def select_participants(self, round_index: int) -> List[Participant]:
+        """Choose the participants taking part in this round."""
+        per_round = self.config.participants_per_round
+        if per_round is None or per_round >= len(self.participants):
+            return list(self.participants)
+        picked = self._rng.choice(len(self.participants), size=per_round, replace=False)
+        return [self.participants[int(i)] for i in picked]
+
+    def cost_model_for(self, participant: Participant) -> Optional[CostModel]:
+        return self.cost_models.get(participant.participant_id, participant.cost_model)
+
+    def evaluate(self) -> float:
+        """Evaluate the global model on the held-out test set."""
+        return evaluate_model(
+            self.server.global_model,
+            self.test_dataset,
+            batch_size=self.config.eval_batch_size,
+            max_samples=self.config.eval_max_samples,
+            seed=self.config.seed,
+        )
+
+    def target_metric(self) -> float:
+        """Absolute metric value corresponding to relative accuracy 1.0."""
+        return self.test_dataset.spec.mini_target * self.config.target_relative_accuracy
+
+    def run_round(self, round_index: int) -> Tuple[RoundResult, Dict[int, ParticipantRoundResult]]:
+        """Execute one synchronous federated round."""
+        selected = self.select_participants(round_index)
+        self.before_round(round_index, selected)
+
+        timeline = RoundTimeline(round_index=round_index)
+        results: Dict[int, ParticipantRoundResult] = {}
+        all_updates: List[ExpertUpdate] = []
+        losses: List[float] = []
+
+        for participant in selected:
+            result = self.participant_round(participant, round_index)
+            results[participant.participant_id] = result
+            timeline.record_participant(participant.participant_id, result.breakdown,
+                                        overlap_profiling=result.overlap_profiling)
+            all_updates.extend(result.updates)
+            losses.append(result.train_loss)
+
+        self.server.aggregate(all_updates)
+        server_cost = self._server_aggregation_time(len(all_updates))
+        timeline.server_time = server_cost
+        self.after_aggregation(round_index, results)
+
+        duration = timeline.round_duration()
+        simulated_time = self.clock.advance(duration)
+        metric = self.evaluate()
+        round_result = RoundResult(
+            round_index=round_index,
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            metric_value=metric,
+            simulated_time=simulated_time,
+            round_duration=duration,
+            timeline=timeline,
+        )
+        return round_result, results
+
+    def _server_aggregation_time(self, num_updates: int) -> float:
+        if not self.cost_models:
+            return 0.0
+        any_cost_model = next(iter(self.cost_models.values()))
+        return any_cost_model.aggregation_time(num_updates)
+
+    def run(self, num_rounds: int, stop_at_target: bool = False,
+            target_metric: Optional[float] = None) -> RunResult:
+        """Run ``num_rounds`` federated rounds (optionally stopping at the target)."""
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be positive")
+        goal = target_metric if target_metric is not None else self.target_metric()
+        tracker = PerformanceTracker(target=goal)
+        run_timeline = RunTimeline()
+        rounds: List[RoundResult] = []
+
+        for round_index in range(num_rounds):
+            round_result, _ = self.run_round(round_index)
+            rounds.append(round_result)
+            run_timeline.add(round_result.timeline)
+            tracker.record(
+                round_index=round_index,
+                simulated_time=round_result.simulated_time,
+                metric_value=round_result.metric_value,
+                train_loss=round_result.train_loss,
+            )
+            if stop_at_target and round_result.metric_value >= goal:
+                break
+
+        return RunResult(method=self.name, tracker=tracker, timeline=run_timeline, rounds=rounds)

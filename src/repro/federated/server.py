@@ -1,0 +1,64 @@
+"""The central parameter server of the federated system."""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..models import MoETransformer
+from .aggregation import ExpertKey, ExpertUpdate, apply_fedavg
+
+
+class ParameterServer:
+    """Holds the global MoE model and aggregates expert updates.
+
+    The server never sees raw data: participants upload expert parameter
+    states (plus scalar statistics such as utilities), and download refreshed
+    expert parameters at the start of the next round.
+    """
+
+    def __init__(self, global_model: MoETransformer) -> None:
+        self.global_model = global_model
+        self.round_index = 0
+        #: number of contributions each expert received over the whole run
+        self.contribution_counts: Dict[ExpertKey, int] = {}
+
+    # ------------------------------------------------------------ distribution
+    def global_state(self) -> Dict[str, np.ndarray]:
+        """Copy of the full global state dict (model download)."""
+        return self.global_model.state_dict()
+
+    def model_snapshot(self) -> MoETransformer:
+        """A fresh model instance loaded with the current global parameters."""
+        snapshot = MoETransformer(self.global_model.config)
+        snapshot.load_state_dict(self.global_state())
+        return snapshot
+
+    def expert_state(self, layer: int, expert: int) -> Dict[str, np.ndarray]:
+        return self.global_model.expert_state(layer, expert)
+
+    def expert_states(self, keys: Iterable[ExpertKey]) -> Dict[ExpertKey, Dict[str, np.ndarray]]:
+        return {key: self.expert_state(*key) for key in keys}
+
+    # ------------------------------------------------------------- aggregation
+    def aggregate(self, updates: Iterable[ExpertUpdate]) -> Dict[ExpertKey, int]:
+        """FedAvg the received expert updates into the global model."""
+        contributions = apply_fedavg(self.global_model, updates)
+        for key, count in contributions.items():
+            self.contribution_counts[key] = self.contribution_counts.get(key, 0) + count
+        self.round_index += 1
+        return contributions
+
+    # -------------------------------------------------------------- inspection
+    def experts_per_layer(self) -> List[int]:
+        return self.global_model.experts_per_layer()
+
+    def num_experts(self) -> int:
+        return sum(self.experts_per_layer())
+
+    def untouched_experts(self) -> List[ExpertKey]:
+        """Experts that have never received an update (useful for exploration)."""
+        touched = set(self.contribution_counts)
+        return [key for key in self.global_model.iter_expert_ids() if key not in touched]

@@ -1,0 +1,14 @@
+"""Evaluation metrics and time-to-accuracy tracking."""
+
+from .evaluation import evaluate_model, relative_accuracy
+from .rouge import corpus_rouge_l, rouge_l
+from .tracker import PerformanceTracker, RoundMetric
+
+__all__ = [
+    "rouge_l",
+    "corpus_rouge_l",
+    "evaluate_model",
+    "relative_accuracy",
+    "PerformanceTracker",
+    "RoundMetric",
+]

@@ -1,0 +1,109 @@
+"""Model evaluation on the synthetic benchmark datasets.
+
+Evaluation is teacher-forced: a single forward pass per batch yields the
+model's predictions at every answer position, from which the dataset-specific
+metric is computed —
+
+* generation datasets: ROUGE-L between predicted and reference answer tokens;
+* math datasets: exact match of the predicted answer digit;
+* multiple-choice datasets: accuracy of the highest-scoring choice token.
+
+Teacher forcing keeps evaluation to one forward per batch (instead of one per
+generated token), which is what makes the convergence benchmarks affordable
+while still measuring genuine task quality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..data import Batch, SyntheticDataset, TaskType, make_batches
+from ..models import MoETransformer
+from .rouge import corpus_rouge_l
+
+
+def evaluate_model(model: MoETransformer, dataset: SyntheticDataset,
+                   batch_size: int = 16, max_samples: Optional[int] = None,
+                   seed: int = 0) -> float:
+    """Return the dataset's metric (ROUGE-L or accuracy) for ``model``."""
+    samples = dataset.samples
+    if max_samples is not None and len(samples) > max_samples:
+        rng = np.random.default_rng(seed)
+        picked = rng.choice(len(samples), size=max_samples, replace=False)
+        samples = [samples[int(i)] for i in picked]
+    if not samples:
+        raise ValueError("cannot evaluate on an empty dataset")
+
+    batches = make_batches(samples, batch_size=batch_size, vocab=dataset.vocab,
+                           shuffle=False, max_seq_len=model.config.max_seq_len)
+    task = dataset.spec.task_type
+    model.eval()
+    try:
+        if task is TaskType.GENERATION:
+            return _evaluate_generation(model, batches)
+        return _evaluate_classification(model, batches, dataset)
+    finally:
+        model.train()
+
+
+def _predictions(model: MoETransformer, batch: Batch) -> np.ndarray:
+    with no_grad():
+        logits = model.forward(batch.input_ids, attention_mask=batch.attention_mask)
+    return logits.data
+
+
+def _evaluate_generation(model: MoETransformer, batches) -> float:
+    candidates = []
+    references = []
+    for batch in batches:
+        logits = _predictions(model, batch)
+        predicted = np.argmax(logits, axis=-1)
+        for row, sample in enumerate(batch.samples):
+            answer_positions = np.flatnonzero(batch.labels[row] >= 0)
+            if answer_positions.size == 0:
+                continue
+            reference = batch.labels[row, answer_positions]
+            candidate = predicted[row, answer_positions]
+            candidates.append(candidate.tolist())
+            references.append(reference.tolist())
+    return corpus_rouge_l(candidates, references)
+
+
+def _evaluate_classification(model: MoETransformer, batches, dataset: SyntheticDataset) -> float:
+    vocab = dataset.vocab
+    task = dataset.spec.task_type
+    if task is TaskType.MATH:
+        answer_tokens = np.asarray(vocab.digit_tokens())
+    else:
+        answer_tokens = np.asarray(vocab.choice_tokens())
+
+    correct = 0
+    total = 0
+    for batch in batches:
+        logits = _predictions(model, batch)
+        for row, sample in enumerate(batch.samples):
+            # The supervised answer token (digit or choice) directly follows
+            # the ANSWER marker; its label position is the first non-ignored
+            # label whose value lies in the answer-token set.
+            answer_positions = np.flatnonzero(np.isin(batch.labels[row], answer_tokens))
+            if answer_positions.size == 0:
+                continue
+            position = int(answer_positions[0])
+            true_token = int(batch.labels[row, position])
+            scores = logits[row, position, answer_tokens]
+            predicted_token = int(answer_tokens[int(np.argmax(scores))])
+            correct += int(predicted_token == true_token)
+            total += 1
+    if total == 0:
+        return 0.0
+    return correct / total
+
+
+def relative_accuracy(metric_value: float, target: float) -> float:
+    """The paper's relative accuracy: obtained metric divided by its target."""
+    if target <= 0:
+        raise ValueError("target must be positive")
+    return metric_value / target

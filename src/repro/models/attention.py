@@ -1,0 +1,75 @@
+"""Multi-head self-attention for the MoE transformer substrate.
+
+Besides the usual attention output, the layer records the *per-token attention
+received* — the average attention weight other tokens place on each token.
+Flux's importance-based merging (§5.3 of the paper) weights experts by the
+attention scores of the tokens they process, so this signal is surfaced on
+every forward pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Linear, Module, Tensor
+
+
+def causal_mask(seq_len: int) -> np.ndarray:
+    """Lower-triangular mask: position ``i`` may attend to ``j <= i``."""
+    return np.tril(np.ones((seq_len, seq_len), dtype=bool))
+
+
+class MultiHeadSelfAttention(Module):
+    """Causal multi-head self-attention with attention-score bookkeeping."""
+
+    def __init__(self, d_model: int, n_heads: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError("d_model must be divisible by n_heads")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.head_dim = d_model // n_heads
+        rng = rng or np.random.default_rng()
+        self.q_proj = Linear(d_model, d_model, bias=False, rng=rng)
+        self.k_proj = Linear(d_model, d_model, bias=False, rng=rng)
+        self.v_proj = Linear(d_model, d_model, bias=False, rng=rng)
+        self.o_proj = Linear(d_model, d_model, bias=False, rng=rng)
+        #: attention received by each token of the most recent batch,
+        #: shape ``(batch, seq_len)``; consumed by Flux's merging module.
+        self.last_token_attention: Optional[np.ndarray] = None
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply causal self-attention to ``x`` of shape ``(batch, seq, d_model)``."""
+        batch, seq_len, _ = x.shape
+        q = self.q_proj(x).reshape(batch, seq_len, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+        k = self.k_proj(x).reshape(batch, seq_len, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+        v = self.v_proj(x).reshape(batch, seq_len, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+
+        mask = causal_mask(seq_len)[None, None, :, :]
+        if attention_mask is not None:
+            key_mask = np.asarray(attention_mask, dtype=bool)[:, None, None, :]
+            mask = mask & key_mask
+        neg_inf = np.full(scores.shape, -1e9)
+        scores = Tensor(np.where(mask, 0.0, neg_inf)) + scores
+
+        probs = scores.softmax(axis=-1)
+
+        # Attention received by token j: average of probs[..., :, j] over heads
+        # and query positions that are allowed to attend.  This is recorded as
+        # plain data (no gradient) — it is a profiling signal, not a loss term.
+        attn_data = probs.data
+        received = attn_data.mean(axis=1).sum(axis=1)  # (batch, seq)
+        valid_queries = mask.sum(axis=(1, 2)).astype(np.float64)  # (batch, seq) queries that can see each key
+        received = received / np.maximum(valid_queries, 1.0)
+        if attention_mask is not None:
+            received = received * np.asarray(attention_mask, dtype=np.float64)
+        self.last_token_attention = received
+
+        out = probs @ v
+        out = out.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.d_model)
+        return self.o_proj(out)

@@ -1,0 +1,93 @@
+"""Checkpoint save/load, including loading into customized MoE architectures.
+
+``save_checkpoint`` / ``load_checkpoint`` persist a model's parameters as an
+``.npz`` archive.  :func:`load_model` reproduces the paper's
+``Flux.moe.load_model(model_path, exps_config)`` API: it builds a model whose
+MoE layers may have a *different* number of experts than the checkpoint and
+loads expert weights and non-expert weights separately, so a compact or
+re-configured model can start from the original pre-trained parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from .config import MoEModelConfig
+from .customize import customized_moe
+from .transformer import MoETransformer
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_checkpoint(model: MoETransformer, path: str) -> str:
+    """Serialise model parameters and config to ``path`` (``.npz``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    state = model.state_dict()
+    config_json = json.dumps(asdict(model.config))
+    np.savez(path, **state, **{_CONFIG_KEY: np.array(config_json)})
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_checkpoint(path: str) -> MoETransformer:
+    """Load a checkpoint into a model with the architecture it was saved with."""
+    archive = np.load(_resolve(path), allow_pickle=False)
+    config = _config_from_archive(archive)
+    model = MoETransformer(config)
+    state = {key: archive[key] for key in archive.files if key != _CONFIG_KEY}
+    model.load_state_dict(state)
+    return model
+
+
+def load_model(model_path: str, exps_config: Optional[Union[int, Sequence[int], Dict[int, int]]] = None
+               ) -> MoETransformer:
+    """Load checkpoint parameters into a (possibly customized) MoE model.
+
+    This mirrors ``Flux.moe.load_model``: expert parameters and non-expert
+    parameters (attention, norms, embeddings, gates) are loaded separately so
+    that an architecture with fewer experts per layer still receives the
+    pre-trained weights for the experts it keeps (experts are retained in
+    original-id order) and all shared components.
+
+    Parameters
+    ----------
+    model_path:
+        Path to an ``.npz`` checkpoint produced by :func:`save_checkpoint`.
+    exps_config:
+        Per-layer expert counts for the customized architecture.  ``None``
+        loads the original architecture unchanged.
+    """
+    archive = np.load(_resolve(model_path), allow_pickle=False)
+    config = _config_from_archive(archive)
+    state = {key: archive[key] for key in archive.files if key != _CONFIG_KEY}
+    if exps_config is None:
+        model = MoETransformer(config)
+        model.load_state_dict(state)
+        return model
+
+    base = MoETransformer(config)
+    base.load_state_dict(state)
+    return customized_moe(base, exps_config)
+
+
+def _resolve(path: str) -> str:
+    if os.path.exists(path):
+        return path
+    if os.path.exists(path + ".npz"):
+        return path + ".npz"
+    raise FileNotFoundError(f"checkpoint not found: {path}")
+
+
+def _config_from_archive(archive) -> MoEModelConfig:
+    if _CONFIG_KEY not in archive.files:
+        raise KeyError("checkpoint is missing its embedded config")
+    raw = json.loads(str(archive[_CONFIG_KEY]))
+    if isinstance(raw.get("num_experts"), list):
+        raw["num_experts"] = list(raw["num_experts"])
+    return MoEModelConfig(**raw)

@@ -1,0 +1,91 @@
+"""Customized MoE construction (the paper's ``Flux.moe.customized_moe`` API).
+
+:func:`customized_moe` rebuilds a model so that each MoE layer holds a caller
+chosen number of experts, which may differ across layers — unlike standard
+frameworks that force a uniform expert count.  Non-expert parameters
+(embeddings, attention, norms) are copied verbatim; each layer keeps its first
+``n`` experts (original-id order) and the gate projection is truncated or
+extended to match.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from .config import MoEModelConfig
+from .transformer import MoETransformer
+
+ExpsConfig = Union[int, Sequence[int], Dict[int, int]]
+
+
+def resolve_exps_config(exps_config: ExpsConfig, n_layers: int,
+                        default_per_layer: Sequence[int]) -> List[int]:
+    """Normalise an ``exps_config`` value into a per-layer expert-count list.
+
+    Accepted forms (matching the paper's API description):
+
+    * ``int`` — the same number of experts in every layer;
+    * ``list`` — one entry per layer;
+    * ``dict`` — ``{layer_index: count}``, unspecified layers keep their
+      original expert count.
+    """
+    if isinstance(exps_config, int):
+        counts = [exps_config] * n_layers
+    elif isinstance(exps_config, dict):
+        counts = list(default_per_layer)
+        for layer, count in exps_config.items():
+            if not 0 <= int(layer) < n_layers:
+                raise KeyError(f"layer index {layer} out of range")
+            counts[int(layer)] = int(count)
+    else:
+        counts = [int(c) for c in exps_config]
+        if len(counts) != n_layers:
+            raise ValueError(
+                f"exps_config has {len(counts)} entries but the model has {n_layers} MoE layers"
+            )
+    if any(c < 1 for c in counts):
+        raise ValueError("every layer must keep at least one expert")
+    return counts
+
+
+def customized_moe(model: MoETransformer, exps_config: ExpsConfig) -> MoETransformer:
+    """Return a new model whose MoE layers have per-layer expert counts.
+
+    Parameters are transferred from ``model``: all non-expert weights are
+    copied, each layer keeps its lowest-id experts up to the requested count
+    (extra experts in the new model, if any, keep their fresh initialisation),
+    and the gating projection rows are truncated or padded accordingly.
+    """
+    old_config = model.config
+    counts = resolve_exps_config(exps_config, old_config.n_layers, old_config.experts_per_layer())
+    new_config = old_config.with_experts(counts)
+    if any(new_config.top_k > c for c in counts):
+        raise ValueError("top_k exceeds the number of experts in at least one customized layer")
+    new_model = MoETransformer(new_config)
+
+    # Copy shared (non-expert, non-gate) parameters by name where shapes match.
+    old_state = model.state_dict()
+    new_params = dict(new_model.named_parameters())
+    for name, value in old_state.items():
+        if name not in new_params:
+            continue
+        target = new_params[name]
+        if target.data.shape == value.shape:
+            target.data[...] = value
+
+    # Transfer experts and gates layer by layer.
+    for layer_index, (old_layer, new_layer) in enumerate(zip(model.moe_layers(), new_model.moe_layers())):
+        keep = min(len(old_layer.experts), len(new_layer.experts))
+        for expert_index in range(keep):
+            new_layer.experts[expert_index].load_state(old_layer.experts[expert_index].state())
+        for shared_index in range(min(len(old_layer.shared_experts), len(new_layer.shared_experts))):
+            new_layer.shared_experts[shared_index].load_state(
+                old_layer.shared_experts[shared_index].state()
+            )
+        old_gate = old_layer.gate.proj.weight.data
+        new_gate = new_layer.gate.proj.weight.data
+        rows = min(old_gate.shape[0], new_gate.shape[0])
+        new_gate[:rows, :] = old_gate[:rows, :]
+    return new_model

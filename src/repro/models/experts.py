@@ -1,0 +1,110 @@
+"""Expert feed-forward networks used inside MoE layers."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autograd import Linear, Module, Tensor
+
+
+class ExpertFFN(Module):
+    """A SwiGLU feed-forward expert (LLaMA / DeepSeek style).
+
+    ``output = w_down( silu(w_gate(x)) * w_up(x) )``
+
+    Each expert owns three weight matrices; the paper's observation that
+    experts dominate the parameter count of MoE LLMs follows directly from
+    replicating this block per expert.
+    """
+
+    def __init__(self, d_model: int, d_ff: int, activation: str = "silu",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.activation = activation
+        rng = rng or np.random.default_rng()
+        self.w_gate = Linear(d_model, d_ff, bias=False, rng=rng)
+        self.w_up = Linear(d_model, d_ff, bias=False, rng=rng)
+        self.w_down = Linear(d_ff, d_model, bias=False, rng=rng)
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "silu":
+            return x.silu()
+        if self.activation == "gelu":
+            return x.gelu()
+        if self.activation == "relu":
+            return x.relu()
+        raise ValueError(f"unknown activation: {self.activation}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.w_down(self._activate(self.w_gate(x)) * self.w_up(x))
+
+    # ------------------------------------------------------------- utilities
+    def weight_vector(self) -> np.ndarray:
+        """Flatten all expert weights into one vector (used for clustering)."""
+        return np.concatenate([
+            self.w_gate.weight.data.reshape(-1),
+            self.w_up.weight.data.reshape(-1),
+            self.w_down.weight.data.reshape(-1),
+        ])
+
+    def load_weight_vector(self, vector: np.ndarray) -> None:
+        """Inverse of :meth:`weight_vector`."""
+        sizes = [self.w_gate.weight.data.size, self.w_up.weight.data.size, self.w_down.weight.data.size]
+        if vector.size != sum(sizes):
+            raise ValueError("weight vector size mismatch")
+        gate, up, down = np.split(vector, np.cumsum(sizes)[:-1])
+        self.w_gate.weight.data[...] = gate.reshape(self.w_gate.weight.data.shape)
+        self.w_up.weight.data[...] = up.reshape(self.w_up.weight.data.shape)
+        self.w_down.weight.data[...] = down.reshape(self.w_down.weight.data.shape)
+
+    def state(self) -> Dict[str, np.ndarray]:
+        """Copy of the expert's weights keyed by matrix name."""
+        return {
+            "w_gate": self.w_gate.weight.data.copy(),
+            "w_up": self.w_up.weight.data.copy(),
+            "w_down": self.w_down.weight.data.copy(),
+        }
+
+    def load_state(self, state: Dict[str, np.ndarray]) -> None:
+        self.w_gate.weight.data[...] = state["w_gate"]
+        self.w_up.weight.data[...] = state["w_up"]
+        self.w_down.weight.data[...] = state["w_down"]
+
+    def num_parameters(self, trainable_only: bool = False) -> int:
+        return super().num_parameters(trainable_only=trainable_only)
+
+    @staticmethod
+    def merge(experts, weights, d_model: int, d_ff: int, activation: str = "silu") -> "ExpertFFN":
+        """Create a new expert whose matrices are the weighted average of ``experts``.
+
+        Parameters
+        ----------
+        experts:
+            Sequence of :class:`ExpertFFN` to merge.
+        weights:
+            Non-negative merge coefficients, one per expert.  They are
+            normalised internally so callers may pass raw importance scores
+            (activation frequency × attention, per the paper's Eq. 2).
+        """
+        experts = list(experts)
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if len(experts) == 0:
+            raise ValueError("cannot merge an empty expert set")
+        if len(experts) != len(weights):
+            raise ValueError("one merge weight per expert is required")
+        if np.any(weights < 0):
+            raise ValueError("merge weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            weights = np.ones(len(experts)) / len(experts)
+        else:
+            weights = weights / total
+        merged = ExpertFFN(d_model, d_ff, activation=activation)
+        for key in ("w_gate", "w_up", "w_down"):
+            stacked = np.stack([getattr(e, key).weight.data for e in experts])
+            getattr(merged, key).weight.data[...] = np.tensordot(weights, stacked, axes=1)
+        return merged

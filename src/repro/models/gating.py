@@ -1,0 +1,125 @@
+"""Top-k gating network and routing bookkeeping for MoE layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..autograd import Linear, Module, Tensor
+
+
+@dataclass
+class RoutingRecord:
+    """Routing statistics captured during a single forward pass of one MoE layer.
+
+    Attributes
+    ----------
+    num_experts:
+        Number of *original* expert ids the gate routes over (routing is always
+        expressed in original-expert coordinates even on a compact model).
+    token_counts:
+        How many token-slot assignments each original expert received.
+    total_tokens:
+        Number of (non-padding) tokens processed in the pass.
+    attention_sums:
+        Sum of attention-received scores of the tokens routed to each expert;
+        divided by ``token_counts`` this yields the per-expert average
+        attention used by importance-based merging.
+    gate_weight_sums:
+        Sum of gate probabilities assigned to each expert.
+    sample_ids:
+        Per-expert set of sample identifiers whose tokens touched the expert;
+        this realises the paper's :math:`D^e_i` (the data relevant to expert e).
+    """
+
+    num_experts: int
+    token_counts: np.ndarray
+    total_tokens: int
+    attention_sums: np.ndarray
+    gate_weight_sums: np.ndarray
+    sample_ids: List[Set[int]]
+
+    @classmethod
+    def empty(cls, num_experts: int) -> "RoutingRecord":
+        return cls(
+            num_experts=num_experts,
+            token_counts=np.zeros(num_experts, dtype=np.int64),
+            total_tokens=0,
+            attention_sums=np.zeros(num_experts, dtype=np.float64),
+            gate_weight_sums=np.zeros(num_experts, dtype=np.float64),
+            sample_ids=[set() for _ in range(num_experts)],
+        )
+
+    def merge(self, other: "RoutingRecord") -> "RoutingRecord":
+        """Accumulate another record (same layer) into this one."""
+        if other.num_experts != self.num_experts:
+            raise ValueError("cannot merge routing records with different expert counts")
+        self.token_counts += other.token_counts
+        self.total_tokens += other.total_tokens
+        self.attention_sums += other.attention_sums
+        self.gate_weight_sums += other.gate_weight_sums
+        for mine, theirs in zip(self.sample_ids, other.sample_ids):
+            mine.update(theirs)
+        return self
+
+    def activation_frequency(self) -> np.ndarray:
+        """Fraction of token assignments that each expert received."""
+        total = self.token_counts.sum()
+        if total == 0:
+            return np.zeros(self.num_experts)
+        return self.token_counts / total
+
+    def average_attention(self) -> np.ndarray:
+        """Mean attention-received score of the tokens routed to each expert."""
+        counts = np.maximum(self.token_counts, 1)
+        return self.attention_sums / counts
+
+
+class GatingNetwork(Module):
+    """Linear router producing top-k expert assignments for each token.
+
+    ``num_experts`` is the number of *original* experts; when a compact model
+    merges experts the gate still scores the original ids and an external
+    remap (see :mod:`repro.models.rerouting`) translates them to local slots.
+    """
+
+    def __init__(self, d_model: int, num_experts: int, top_k: int,
+                 noise_std: float = 0.0, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if top_k > num_experts:
+            raise ValueError("top_k cannot exceed num_experts")
+        self.d_model = d_model
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.noise_std = noise_std
+        self._rng = rng or np.random.default_rng()
+        self.proj = Linear(d_model, num_experts, bias=False, rng=self._rng)
+
+    def forward(self, x: Tensor):
+        """Route a batch of token embeddings.
+
+        Parameters
+        ----------
+        x:
+            ``(num_tokens, d_model)`` flattened token representations.
+
+        Returns
+        -------
+        tuple ``(top_idx, top_weights, probs)`` where ``top_idx`` is an integer
+        array ``(num_tokens, top_k)`` of original expert ids, ``top_weights`` a
+        :class:`Tensor` of normalised gate weights with gradients attached, and
+        ``probs`` the full softmax distribution (as data, for bookkeeping).
+        """
+        logits = self.proj(x)
+        if self.noise_std > 0 and self.training:
+            logits = logits + Tensor(self._rng.normal(0.0, self.noise_std, size=logits.shape))
+        probs = logits.softmax(axis=-1)
+        probs_data = probs.data
+        top_idx = np.argsort(-probs_data, axis=-1)[:, : self.top_k]
+        rows = np.arange(probs_data.shape[0])[:, None]
+        top_probs = probs[rows, top_idx]
+        norm = top_probs.sum(axis=-1, keepdims=True) + 1e-12
+        top_weights = top_probs / norm
+        return top_idx, top_weights, probs_data

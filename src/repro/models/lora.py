@@ -1,0 +1,141 @@
+"""LoRA adapters for expert FFNs.
+
+The paper's implementation section (§7) notes that Flux "supports the
+integration of additional fine-tuning optimization techniques, such as Adapter
+and LoRA".  This module provides that integration: a :class:`LoRALinear`
+wrapper that adds a trainable low-rank update to a frozen linear layer, and
+helpers to wrap/unwrap the experts of an MoE transformer so that federated
+updates exchange only the small adapter matrices instead of full expert
+weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Linear, Module, Parameter, Tensor
+from .experts import ExpertFFN
+from .transformer import MoETransformer
+
+ExpertKey = Tuple[int, int]
+
+
+class LoRALinear(Module):
+    """A frozen linear layer plus a trainable low-rank update.
+
+    ``y = x W^T + (x A^T) B^T * (alpha / rank)`` where ``A`` is ``(rank, in)``
+    and ``B`` is ``(out, rank)``.  ``B`` starts at zero so the wrapped layer is
+    initially identical to the original.
+    """
+
+    def __init__(self, base: Linear, rank: int = 4, alpha: float = 8.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if rank < 1:
+            raise ValueError("LoRA rank must be positive")
+        rng = rng or np.random.default_rng()
+        self.base = base
+        self.rank = rank
+        self.alpha = alpha
+        self.scaling = alpha / rank
+        for param in self.base.parameters():
+            param.requires_grad = False
+        self.lora_a = Parameter(rng.normal(0.0, 0.02, size=(rank, base.in_features)))
+        self.lora_b = Parameter(np.zeros((base.out_features, rank)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        frozen = self.base(x)
+        update = (x @ self.lora_a.transpose()) @ self.lora_b.transpose()
+        return frozen + update * self.scaling
+
+    def delta_weight(self) -> np.ndarray:
+        """The effective weight update ``B @ A * scaling`` added by the adapter."""
+        return self.lora_b.data @ self.lora_a.data * self.scaling
+
+    def merge_into_base(self) -> Linear:
+        """Fold the adapter into the frozen weights and return the base layer."""
+        self.base.weight.data += self.delta_weight()
+        self.lora_b.data[...] = 0.0
+        return self.base
+
+    def adapter_state(self) -> Dict[str, np.ndarray]:
+        return {"lora_a": self.lora_a.data.copy(), "lora_b": self.lora_b.data.copy()}
+
+    def load_adapter_state(self, state: Dict[str, np.ndarray]) -> None:
+        self.lora_a.data[...] = state["lora_a"]
+        self.lora_b.data[...] = state["lora_b"]
+
+
+class LoRAExpert(Module):
+    """An :class:`ExpertFFN` whose three projections carry LoRA adapters."""
+
+    def __init__(self, expert: ExpertFFN, rank: int = 4, alpha: float = 8.0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.d_model = expert.d_model
+        self.d_ff = expert.d_ff
+        self.activation = expert.activation
+        self.w_gate = LoRALinear(expert.w_gate, rank=rank, alpha=alpha, rng=rng)
+        self.w_up = LoRALinear(expert.w_up, rank=rank, alpha=alpha, rng=rng)
+        self.w_down = LoRALinear(expert.w_down, rank=rank, alpha=alpha, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.w_gate(x)
+        if self.activation == "silu":
+            activated = hidden.silu()
+        elif self.activation == "gelu":
+            activated = hidden.gelu()
+        else:
+            activated = hidden.relu()
+        return self.w_down(activated * self.w_up(x))
+
+    def adapter_state(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name in ("w_gate", "w_up", "w_down"):
+            for key, value in getattr(self, name).adapter_state().items():
+                state[f"{name}.{key}"] = value
+        return state
+
+    def load_adapter_state(self, state: Dict[str, np.ndarray]) -> None:
+        for name in ("w_gate", "w_up", "w_down"):
+            getattr(self, name).load_adapter_state({
+                "lora_a": state[f"{name}.lora_a"],
+                "lora_b": state[f"{name}.lora_b"],
+            })
+
+    def num_adapter_parameters(self) -> int:
+        return sum(layer.lora_a.data.size + layer.lora_b.data.size
+                   for layer in (self.w_gate, self.w_up, self.w_down))
+
+
+def apply_lora_to_experts(model: MoETransformer, expert_keys: Optional[Iterable[ExpertKey]] = None,
+                          rank: int = 4, alpha: float = 8.0, seed: int = 0
+                          ) -> Dict[ExpertKey, LoRAExpert]:
+    """Wrap (a subset of) the model's experts with LoRA adapters, in place.
+
+    Returns a mapping from expert key to the :class:`LoRAExpert` now installed
+    in the model; only the adapter matrices are trainable afterwards.
+    """
+    rng = np.random.default_rng(seed)
+    if expert_keys is None:
+        expert_keys = list(model.iter_expert_ids())
+    wrapped: Dict[ExpertKey, LoRAExpert] = {}
+    for layer, expert in expert_keys:
+        base = model.get_expert(layer, expert)
+        lora_expert = LoRAExpert(base, rank=rank, alpha=alpha, rng=rng)
+        model.blocks[layer].moe.experts[expert] = lora_expert
+        wrapped[(layer, expert)] = lora_expert
+    return wrapped
+
+
+def lora_parameter_savings(model: MoETransformer, rank: int = 4) -> float:
+    """Fraction of expert-update bytes saved by exchanging LoRA adapters only."""
+    config = model.config
+    full = config.expert_parameter_count()
+    adapters = 3 * rank * (config.d_model + config.d_ff)
+    if full == 0:
+        return 0.0
+    return 1.0 - adapters / full

@@ -1,0 +1,173 @@
+"""The sparsely-activated MoE feed-forward layer.
+
+Each token is routed by a :class:`~repro.models.gating.GatingNetwork` to its
+top-k experts; the layer dispatches tokens to the selected experts, combines
+their outputs with the (differentiable) gate weights, and records routing
+statistics used by Flux's profiling and merging modules.
+
+The layer also supports *compact* operation: the list of local experts may be
+shorter than the number of original experts the gate routes over, with an
+:class:`~repro.models.rerouting.ExpertRemap` translating original ids to local
+slots (tuning experts preserved 1:1, non-tuning experts collapsed onto merged
+experts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Module, ModuleList, Tensor, scatter_rows
+from .experts import ExpertFFN
+from .gating import GatingNetwork, RoutingRecord
+from .rerouting import ExpertRemap
+
+
+class MoELayer(Module):
+    """Mixture-of-Experts feed-forward layer with top-k routing."""
+
+    def __init__(
+        self,
+        d_model: int,
+        d_ff: int,
+        num_experts: int,
+        top_k: int,
+        num_shared_experts: int = 0,
+        activation: str = "silu",
+        gate_noise_std: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.d_model = d_model
+        self.d_ff = d_ff
+        self.num_original_experts = num_experts
+        self.top_k = top_k
+        self.activation = activation
+        self.gate = GatingNetwork(d_model, num_experts, top_k, noise_std=gate_noise_std, rng=rng)
+        self.experts = ModuleList([
+            ExpertFFN(d_model, d_ff, activation=activation, rng=rng) for _ in range(num_experts)
+        ])
+        self.shared_experts = ModuleList([
+            ExpertFFN(d_model, d_ff, activation=activation, rng=rng) for _ in range(num_shared_experts)
+        ])
+        self.remap = ExpertRemap.identity(num_experts)
+        #: routing statistics of the most recent forward pass
+        self.last_routing: Optional[RoutingRecord] = None
+        #: when True, routing statistics are accumulated across forward passes
+        self.accumulate_routing: bool = False
+        self._accumulated: Optional[RoutingRecord] = None
+
+    # ---------------------------------------------------------------- config
+    @property
+    def num_local_experts(self) -> int:
+        """Number of expert modules actually held by this layer."""
+        return len(self.experts)
+
+    def set_compact_experts(self, experts: Sequence[ExpertFFN], remap: ExpertRemap) -> None:
+        """Replace the local expert list with a compact set plus a remap.
+
+        Used by Flux clients (tuning experts + merged non-tuning experts) and
+        by the FMES baseline (selected experts only, others re-routed).
+        """
+        if remap.num_original != self.num_original_experts:
+            raise ValueError("remap must cover the original expert count")
+        max_slot = int(remap.table.max())
+        if max_slot >= len(experts):
+            raise ValueError(
+                f"remap references slot {max_slot} but only {len(experts)} experts provided"
+            )
+        self.experts = ModuleList(list(experts))
+        self.remap = remap
+
+    def reset_routing_accumulator(self) -> None:
+        self._accumulated = None
+
+    def accumulated_routing(self) -> Optional[RoutingRecord]:
+        return self._accumulated
+
+    # --------------------------------------------------------------- forward
+    def forward(
+        self,
+        x: Tensor,
+        token_attention: Optional[np.ndarray] = None,
+        sample_ids: Optional[np.ndarray] = None,
+        token_mask: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Route and transform a batch of token representations.
+
+        Parameters
+        ----------
+        x:
+            ``(batch, seq, d_model)`` hidden states.
+        token_attention:
+            Optional ``(batch, seq)`` attention-received scores from the
+            attention sub-layer (profiling signal for merging).
+        sample_ids:
+            Optional ``(batch,)`` integer sample identifiers; used to record
+            which samples touch which expert (the paper's :math:`D^e_i`).
+        token_mask:
+            Optional ``(batch, seq)`` boolean mask; padding tokens are still
+            transformed (cheaply) but excluded from routing statistics.
+        """
+        batch, seq_len, d_model = x.shape
+        num_tokens = batch * seq_len
+        flat = x.reshape(num_tokens, d_model)
+
+        top_idx, top_weights, probs = self.gate(flat)
+        local_idx = self.remap.apply(top_idx)
+
+        record = RoutingRecord.empty(self.num_original_experts)
+        if token_mask is None:
+            flat_mask = np.ones(num_tokens, dtype=bool)
+        else:
+            flat_mask = np.asarray(token_mask, dtype=bool).reshape(num_tokens)
+        if token_attention is None:
+            flat_attention = np.zeros(num_tokens, dtype=np.float64)
+        else:
+            flat_attention = np.asarray(token_attention, dtype=np.float64).reshape(num_tokens)
+        if sample_ids is not None:
+            flat_samples = np.repeat(np.asarray(sample_ids, dtype=np.int64), seq_len)
+        else:
+            flat_samples = None
+
+        combined = Tensor(np.zeros((num_tokens, d_model)))
+        for slot in np.unique(local_idx):
+            slot_mask = local_idx == slot  # (num_tokens, top_k)
+            token_rows, k_positions = np.nonzero(slot_mask)
+            if token_rows.size == 0:
+                continue
+            expert = self.experts[int(slot)]
+            expert_in = flat[token_rows]
+            expert_out = expert(expert_in)
+            weights = top_weights[token_rows, k_positions].reshape(-1, 1)
+            weighted = expert_out * weights
+            combined = combined + scatter_rows(weighted, token_rows, num_tokens)
+
+        # Routing statistics are kept in original-expert coordinates.
+        for k in range(self.top_k):
+            idx_k = top_idx[:, k]
+            valid = flat_mask
+            np.add.at(record.token_counts, idx_k[valid], 1)
+            np.add.at(record.attention_sums, idx_k[valid], flat_attention[valid])
+            np.add.at(record.gate_weight_sums, idx_k[valid], top_weights.data[valid, k])
+            if flat_samples is not None:
+                for expert_id, sample in zip(idx_k[valid], flat_samples[valid]):
+                    record.sample_ids[int(expert_id)].add(int(sample))
+        record.total_tokens = int(flat_mask.sum())
+        self.last_routing = record
+        if self.accumulate_routing:
+            if self._accumulated is None:
+                self._accumulated = RoutingRecord.empty(self.num_original_experts)
+            self._accumulated.merge(record)
+
+        out = combined
+        for shared in self.shared_experts:
+            out = out + shared(flat)
+        return out.reshape(batch, seq_len, d_model)
+
+    # ------------------------------------------------------------- inspection
+    def expert_weight_matrix(self) -> np.ndarray:
+        """Stack every local expert's flattened weights into a 2-D matrix."""
+        return np.stack([expert.weight_vector() for expert in self.experts])

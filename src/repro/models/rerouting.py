@@ -1,0 +1,86 @@
+"""Gate re-routing: mapping original expert ids onto compact-model slots.
+
+After Flux merges non-tuning experts, the gating network still scores the
+*original* expert ids.  The :class:`ExpertRemap` translates each original id to
+the local slot holding either the preserved tuning expert or the merged expert
+that absorbed it (the paper's "Gate re-routing" implementation note, §7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class ExpertRemap:
+    """Mapping from original expert ids to compact-model expert slots."""
+
+    def __init__(self, num_original: int, mapping: Optional[Dict[int, int]] = None) -> None:
+        if num_original < 1:
+            raise ValueError("num_original must be positive")
+        self.num_original = num_original
+        self._table = np.arange(num_original, dtype=np.int64)
+        if mapping is not None:
+            self.update(mapping)
+
+    @classmethod
+    def identity(cls, num_original: int) -> "ExpertRemap":
+        """Remap that leaves every expert id unchanged (full model)."""
+        return cls(num_original)
+
+    def update(self, mapping: Dict[int, int]) -> None:
+        """Point original expert ids at new local slots."""
+        for original, slot in mapping.items():
+            if not 0 <= original < self.num_original:
+                raise KeyError(f"original expert id {original} out of range")
+            if slot < 0:
+                raise ValueError("slot indices must be non-negative")
+            self._table[original] = slot
+
+    def __getitem__(self, original_id: int) -> int:
+        return int(self._table[original_id])
+
+    def apply(self, expert_ids: np.ndarray) -> np.ndarray:
+        """Vectorised remap of an array of original expert ids."""
+        return self._table[np.asarray(expert_ids, dtype=np.int64)]
+
+    @property
+    def table(self) -> np.ndarray:
+        """Copy of the full remap table."""
+        return self._table.copy()
+
+    def num_slots(self) -> int:
+        """Number of distinct local slots referenced by the remap."""
+        return int(len(np.unique(self._table)))
+
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self._table, np.arange(self.num_original)))
+
+    @classmethod
+    def from_clusters(cls, num_original: int, tuning_experts: Iterable[int],
+                      clusters: List[List[int]]) -> tuple["ExpertRemap", List[int], List[List[int]]]:
+        """Build a remap for a compact layer made of tuning experts plus merged clusters.
+
+        Slots ``0 .. len(tuning)-1`` hold the preserved tuning experts (sorted
+        by original id); slots after that hold one merged expert per cluster.
+
+        Returns the remap, the ordered list of tuning expert ids (slot order)
+        and the cluster list (slot order, offset by the number of tuning
+        experts).
+        """
+        tuning = sorted(set(int(e) for e in tuning_experts))
+        mapping: Dict[int, int] = {e: slot for slot, e in enumerate(tuning)}
+        covered = set(tuning)
+        for cluster_index, members in enumerate(clusters):
+            slot = len(tuning) + cluster_index
+            for member in members:
+                member = int(member)
+                if member in covered:
+                    raise ValueError(f"expert {member} assigned to more than one slot")
+                covered.add(member)
+                mapping[member] = slot
+        missing = set(range(num_original)) - covered
+        if missing:
+            raise ValueError(f"experts {sorted(missing)} not covered by tuning set or clusters")
+        return cls(num_original, mapping), tuning, [list(map(int, c)) for c in clusters]

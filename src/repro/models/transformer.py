@@ -1,0 +1,228 @@
+"""Decoder-only MoE transformer language model.
+
+This is the substrate standing in for LLaMA-MoE / DeepSeek-MoE: token + position
+embeddings, a stack of pre-norm transformer blocks whose feed-forward part is a
+:class:`~repro.models.moe_layer.MoELayer`, a final norm and an LM head.
+
+The model exposes the hooks Flux needs:
+
+* per-layer routing records (activation frequency, per-expert sample sets,
+  attention scores of routed tokens);
+* expert get/set/freeze accessors for expert-only fine-tuning, merging and
+  aggregation;
+* ``forward_hidden`` returning final token embeddings, used to measure the
+  output error introduced by expert merging (cosine distance, paper §5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Dropout, Embedding, Linear, Module, ModuleList, RMSNorm, Tensor
+from ..autograd import functional as F
+from ..autograd import no_grad
+from .attention import MultiHeadSelfAttention
+from .config import MoEModelConfig
+from .experts import ExpertFFN
+from .gating import RoutingRecord
+from .moe_layer import MoELayer
+
+
+class MoETransformerBlock(Module):
+    """Pre-norm transformer block: self-attention followed by an MoE FFN."""
+
+    def __init__(self, config: MoEModelConfig, num_experts: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.attn_norm = RMSNorm(config.d_model, eps=config.rms_norm_eps)
+        self.attn = MultiHeadSelfAttention(config.d_model, config.n_heads, rng=rng)
+        self.moe_norm = RMSNorm(config.d_model, eps=config.rms_norm_eps)
+        self.moe = MoELayer(
+            d_model=config.d_model,
+            d_ff=config.d_ff,
+            num_experts=num_experts,
+            top_k=config.top_k,
+            num_shared_experts=config.num_shared_experts,
+            activation=config.activation,
+            gate_noise_std=config.gate_noise_std,
+            rng=rng,
+        )
+        self.dropout = Dropout(config.dropout, rng=rng)
+
+    def forward(self, x: Tensor, attention_mask: Optional[np.ndarray] = None,
+                sample_ids: Optional[np.ndarray] = None) -> Tensor:
+        attn_out = self.attn(self.attn_norm(x), attention_mask=attention_mask)
+        x = x + self.dropout(attn_out)
+        moe_out = self.moe(
+            self.moe_norm(x),
+            token_attention=self.attn.last_token_attention,
+            sample_ids=sample_ids,
+            token_mask=attention_mask,
+        )
+        return x + self.dropout(moe_out)
+
+
+class MoETransformer(Module):
+    """Decoder-only language model with MoE feed-forward layers."""
+
+    def __init__(self, config: MoEModelConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)
+        self.blocks = ModuleList([
+            MoETransformerBlock(config, num_experts, rng=rng)
+            for num_experts in config.experts_per_layer()
+        ])
+        self.final_norm = RMSNorm(config.d_model, eps=config.rms_norm_eps)
+        if config.tie_embeddings:
+            self.lm_head = None
+        else:
+            self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+
+    # ---------------------------------------------------------------- forward
+    def forward_hidden(self, input_ids: np.ndarray,
+                       attention_mask: Optional[np.ndarray] = None,
+                       sample_ids: Optional[np.ndarray] = None) -> Tensor:
+        """Return final-layer token embeddings ``(batch, seq, d_model)``."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim == 1:
+            input_ids = input_ids[None, :]
+        batch, seq_len = input_ids.shape
+        if seq_len > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        x = self.token_embedding(input_ids) + self.position_embedding(positions)
+        for block in self.blocks:
+            x = block(x, attention_mask=attention_mask, sample_ids=sample_ids)
+        return self.final_norm(x)
+
+    def forward(self, input_ids: np.ndarray,
+                attention_mask: Optional[np.ndarray] = None,
+                sample_ids: Optional[np.ndarray] = None) -> Tensor:
+        """Return next-token logits ``(batch, seq, vocab)``."""
+        hidden = self.forward_hidden(input_ids, attention_mask=attention_mask, sample_ids=sample_ids)
+        if self.lm_head is not None:
+            return self.lm_head(hidden)
+        return hidden @ self.token_embedding.weight.transpose()
+
+    def compute_loss(self, input_ids: np.ndarray, labels: Optional[np.ndarray] = None,
+                     attention_mask: Optional[np.ndarray] = None,
+                     sample_ids: Optional[np.ndarray] = None,
+                     ignore_index: int = -100) -> Tensor:
+        """Causal language-modelling loss (labels default to shifted inputs)."""
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        if input_ids.ndim == 1:
+            input_ids = input_ids[None, :]
+        if labels is None:
+            labels = np.full_like(input_ids, ignore_index)
+            labels[:, :-1] = input_ids[:, 1:]
+            if attention_mask is not None:
+                mask = np.asarray(attention_mask, dtype=bool)
+                labels[:, :-1] = np.where(mask[:, 1:], labels[:, :-1], ignore_index)
+        logits = self.forward(input_ids, attention_mask=attention_mask, sample_ids=sample_ids)
+        return F.cross_entropy(logits, labels, ignore_index=ignore_index)
+
+    def greedy_generate(self, prompt_ids: np.ndarray, max_new_tokens: int = 16) -> np.ndarray:
+        """Greedy decoding used by the ROUGE-based evaluation."""
+        tokens = list(np.asarray(prompt_ids, dtype=np.int64).reshape(-1))
+        with no_grad():
+            for _ in range(max_new_tokens):
+                context = np.asarray(tokens[-self.config.max_seq_len:], dtype=np.int64)[None, :]
+                logits = self.forward(context)
+                next_token = int(np.argmax(logits.data[0, -1]))
+                tokens.append(next_token)
+        return np.asarray(tokens, dtype=np.int64)
+
+    # ---------------------------------------------------------- expert access
+    @property
+    def num_layers(self) -> int:
+        return len(self.blocks)
+
+    def moe_layers(self) -> List[MoELayer]:
+        return [block.moe for block in self.blocks]
+
+    def experts_per_layer(self) -> List[int]:
+        """Original (routed-over) expert count per layer."""
+        return [layer.num_original_experts for layer in self.moe_layers()]
+
+    def local_experts_per_layer(self) -> List[int]:
+        """Number of expert modules actually materialised per layer."""
+        return [layer.num_local_experts for layer in self.moe_layers()]
+
+    def get_expert(self, layer: int, expert: int) -> ExpertFFN:
+        return self.blocks[layer].moe.experts[expert]
+
+    def set_expert(self, layer: int, expert: int, module: ExpertFFN) -> None:
+        self.blocks[layer].moe.experts[expert] = module
+
+    def expert_state(self, layer: int, expert: int) -> Dict[str, np.ndarray]:
+        """Copy of one expert's weights (transport format for FL updates)."""
+        return self.get_expert(layer, expert).state()
+
+    def load_expert_state(self, layer: int, expert: int, state: Dict[str, np.ndarray]) -> None:
+        self.get_expert(layer, expert).load_state(state)
+
+    def iter_expert_ids(self):
+        """Yield every ``(layer, expert)`` pair of the original architecture."""
+        for layer_index, count in enumerate(self.experts_per_layer()):
+            for expert_index in range(count):
+                yield layer_index, expert_index
+
+    def freeze_non_expert_parameters(self) -> None:
+        """Freeze everything except routed expert FFNs (expert-only fine-tuning)."""
+        for param in self.parameters():
+            param.requires_grad = False
+        for layer in self.moe_layers():
+            for expert in layer.experts:
+                for param in expert.parameters():
+                    param.requires_grad = True
+
+    def set_expert_trainable(self, layer: int, expert: int, trainable: bool) -> None:
+        for param in self.get_expert(layer, expert).parameters():
+            param.requires_grad = trainable
+
+    # -------------------------------------------------------- routing records
+    def set_routing_accumulation(self, enabled: bool) -> None:
+        for layer in self.moe_layers():
+            layer.accumulate_routing = enabled
+            if enabled:
+                layer.reset_routing_accumulator()
+
+    def routing_records(self, accumulated: bool = False) -> List[RoutingRecord]:
+        """Per-layer routing records from the last pass (or accumulated)."""
+        records = []
+        for layer in self.moe_layers():
+            record = layer.accumulated_routing() if accumulated else layer.last_routing
+            if record is None:
+                record = RoutingRecord.empty(layer.num_original_experts)
+            records.append(record)
+        return records
+
+    def activation_frequencies(self, accumulated: bool = False) -> List[np.ndarray]:
+        """Per-layer activation frequency vectors."""
+        return [record.activation_frequency() for record in self.routing_records(accumulated)]
+
+    # --------------------------------------------------------------- counting
+    def num_expert_parameters(self) -> int:
+        total = 0
+        for layer in self.moe_layers():
+            for expert in layer.experts:
+                total += expert.num_parameters()
+        return total
+
+    def parameter_breakdown(self) -> Dict[str, int]:
+        """Parameter counts split into expert and non-expert components."""
+        expert_params = self.num_expert_parameters()
+        total = self.num_parameters()
+        return {
+            "total": total,
+            "experts": expert_params,
+            "non_expert": total - expert_params,
+        }

@@ -1,0 +1,28 @@
+"""Weight quantization substrate (profiling models, FMQ baseline)."""
+
+from .qmodel import quantize_model, quantized_model_bytes
+from .quantizer import (
+    SUPPORTED_BITS,
+    QuantizedArray,
+    dequantize_array,
+    dequantize_state_dict,
+    quantization_error,
+    quantize_array,
+    quantize_state_dict,
+    quantized_nbytes,
+    state_dict_nbytes,
+)
+
+__all__ = [
+    "SUPPORTED_BITS",
+    "QuantizedArray",
+    "quantize_array",
+    "dequantize_array",
+    "quantization_error",
+    "quantize_state_dict",
+    "dequantize_state_dict",
+    "state_dict_nbytes",
+    "quantized_nbytes",
+    "quantize_model",
+    "quantized_model_bytes",
+]

@@ -1,0 +1,87 @@
+"""Low-bit weight quantization used for profiling and the FMQ baseline.
+
+Symmetric per-row (per-output-channel) integer quantization: each row of a
+weight matrix is scaled into the representable integer range for the chosen
+bit-width and rounded.  Dequantisation multiplies back by the per-row scale.
+
+The key property the paper relies on (§4.1) is that a quantized model's
+*routing decisions* closely track the full-precision model while its
+*fine-tuning* behaviour degrades with accumulated precision error — both of
+which emerge naturally from actually rounding the weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+SUPPORTED_BITS = (2, 3, 4, 8)
+
+
+@dataclass
+class QuantizedArray:
+    """A quantized weight matrix: integer codes plus per-row scales."""
+
+    codes: np.ndarray
+    scales: np.ndarray
+    bits: int
+    original_shape: tuple
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the (lossy) floating-point weights."""
+        return (self.codes * self.scales[:, None]).reshape(self.original_shape)
+
+    @property
+    def nbytes(self) -> float:
+        """Storage footprint in bytes (codes packed at ``bits`` per value)."""
+        return self.codes.size * self.bits / 8.0 + self.scales.size * 4.0
+
+
+def quantize_array(weights: np.ndarray, bits: int) -> QuantizedArray:
+    """Symmetric per-row quantization of a 2-D (or flattened) weight array."""
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"unsupported bit width {bits}; supported: {SUPPORTED_BITS}")
+    original_shape = weights.shape
+    matrix = weights.reshape(original_shape[0], -1) if weights.ndim > 1 else weights.reshape(1, -1)
+    qmax = 2 ** (bits - 1) - 1
+    row_absmax = np.abs(matrix).max(axis=1)
+    scales = np.where(row_absmax > 0, row_absmax / qmax, 1.0)
+    codes = np.clip(np.round(matrix / scales[:, None]), -qmax - 1, qmax).astype(np.int32)
+    return QuantizedArray(codes=codes, scales=scales, bits=bits, original_shape=original_shape)
+
+
+def dequantize_array(quantized: QuantizedArray) -> np.ndarray:
+    """Convenience wrapper around :meth:`QuantizedArray.dequantize`."""
+    return quantized.dequantize()
+
+
+def quantization_error(weights: np.ndarray, bits: int) -> float:
+    """Relative L2 reconstruction error introduced by quantizing ``weights``."""
+    reconstructed = quantize_array(weights, bits).dequantize()
+    denom = np.linalg.norm(weights)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(weights - reconstructed) / denom)
+
+
+def quantize_state_dict(state: Dict[str, np.ndarray], bits: int) -> Dict[str, QuantizedArray]:
+    """Quantize every entry of a ``state_dict``."""
+    return {name: quantize_array(value, bits) for name, value in state.items()}
+
+
+def dequantize_state_dict(quantized: Dict[str, QuantizedArray]) -> Dict[str, np.ndarray]:
+    """Dequantize every entry back to floating point."""
+    return {name: q.dequantize() for name, q in quantized.items()}
+
+
+def state_dict_nbytes(state: Dict[str, np.ndarray], bytes_per_param: float = 4.0) -> float:
+    """Storage footprint of a full-precision state dict."""
+    return float(sum(value.size for value in state.values()) * bytes_per_param)
+
+
+def quantized_nbytes(quantized: Dict[str, QuantizedArray]) -> float:
+    """Storage footprint of a quantized state dict."""
+    return float(sum(q.nbytes for q in quantized.values()))

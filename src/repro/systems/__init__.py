@@ -1,0 +1,45 @@
+"""Device, memory and cost models: the simulated-hardware substrate."""
+
+from .cost_model import (
+    FORWARD_FLOPS_PER_PARAM,
+    TRAIN_FLOPS_PER_PARAM,
+    CostModel,
+    RoundCostBreakdown,
+)
+from .device import (
+    CONSUMER_GPU,
+    DEVICE_PRESETS,
+    L20_SERVER,
+    SMALL_GPU,
+    DeviceProfile,
+    heterogeneous_fleet,
+)
+from .memory import (
+    DEFAULT_EXPERT_FRACTION,
+    TRAINING_OVERHEAD,
+    MemoryModel,
+    expert_memory_bytes,
+    model_memory_bytes,
+)
+from .timeline import RoundTimeline, RunTimeline, SimulatedClock
+
+__all__ = [
+    "DeviceProfile",
+    "CONSUMER_GPU",
+    "SMALL_GPU",
+    "L20_SERVER",
+    "DEVICE_PRESETS",
+    "heterogeneous_fleet",
+    "MemoryModel",
+    "DEFAULT_EXPERT_FRACTION",
+    "TRAINING_OVERHEAD",
+    "model_memory_bytes",
+    "expert_memory_bytes",
+    "CostModel",
+    "RoundCostBreakdown",
+    "FORWARD_FLOPS_PER_PARAM",
+    "TRAIN_FLOPS_PER_PARAM",
+    "SimulatedClock",
+    "RoundTimeline",
+    "RunTimeline",
+]

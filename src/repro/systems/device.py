@@ -1,0 +1,111 @@
+"""Device profiles for the simulated testbed.
+
+The paper's participants run consumer-grade GPUs while the testbed server uses
+NVIDIA L20s.  A :class:`DeviceProfile` captures the handful of quantities the
+cost model needs: GPU memory, sustained training throughput, PCIe bandwidth
+(for expert offloading) and network bandwidth (for parameter exchange).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Hardware characteristics of one participant (or the server)."""
+
+    name: str
+    gpu_memory_gb: float
+    compute_tflops: float          # sustained training throughput (FP16 TFLOP/s)
+    pcie_bandwidth_gbps: float     # GB/s between host RAM and GPU
+    network_mbps: float            # up/down link to the parameter server (MB/s)
+    compute_efficiency: float = 0.35   # fraction of peak usable for MoE fine-tuning
+    quantized_speedup: float = 2.0     # relative speedup of low-bit forward passes
+
+    def __post_init__(self) -> None:
+        for field_name in ("gpu_memory_gb", "compute_tflops", "pcie_bandwidth_gbps", "network_mbps"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if not 0 < self.compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+
+    @property
+    def gpu_memory_bytes(self) -> float:
+        return self.gpu_memory_gb * 1024 ** 3
+
+    @property
+    def effective_flops(self) -> float:
+        """Usable floating-point operations per second for training."""
+        return self.compute_tflops * 1e12 * self.compute_efficiency
+
+    @property
+    def pcie_bytes_per_s(self) -> float:
+        return self.pcie_bandwidth_gbps * 1024 ** 3
+
+    @property
+    def network_bytes_per_s(self) -> float:
+        return self.network_mbps * 1024 ** 2
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "DeviceProfile":
+        """A device with compute and bandwidth scaled by ``factor``."""
+        return replace(
+            self,
+            name=name or f"{self.name}-x{factor:g}",
+            compute_tflops=self.compute_tflops * factor,
+            pcie_bandwidth_gbps=self.pcie_bandwidth_gbps * factor,
+            network_mbps=self.network_mbps * factor,
+        )
+
+
+# --------------------------------------------------------------------- presets
+CONSUMER_GPU = DeviceProfile(
+    name="consumer-gpu-24g",
+    gpu_memory_gb=24.0,
+    compute_tflops=80.0,
+    pcie_bandwidth_gbps=12.0,
+    network_mbps=50.0,
+)
+
+SMALL_GPU = DeviceProfile(
+    name="consumer-gpu-12g",
+    gpu_memory_gb=12.0,
+    compute_tflops=40.0,
+    pcie_bandwidth_gbps=8.0,
+    network_mbps=25.0,
+)
+
+L20_SERVER = DeviceProfile(
+    name="nvidia-l20-48g",
+    gpu_memory_gb=48.0,
+    compute_tflops=120.0,
+    pcie_bandwidth_gbps=25.0,
+    network_mbps=1000.0,
+)
+
+DEVICE_PRESETS = {
+    "consumer-gpu-24g": CONSUMER_GPU,
+    "consumer-gpu-12g": SMALL_GPU,
+    "nvidia-l20-48g": L20_SERVER,
+}
+
+
+def heterogeneous_fleet(num_devices: int, seed: int = 0,
+                        base: DeviceProfile = CONSUMER_GPU,
+                        spread: float = 0.5) -> List[DeviceProfile]:
+    """Sample a heterogeneous set of participant devices.
+
+    Each device's compute/bandwidth is the base profile scaled by a factor in
+    ``[1 - spread, 1 + spread]``, reproducing the computation heterogeneity the
+    paper's role-assignment module must cope with.
+    """
+    if num_devices < 1:
+        raise ValueError("num_devices must be positive")
+    if not 0 <= spread < 1:
+        raise ValueError("spread must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    factors = rng.uniform(1.0 - spread, 1.0 + spread, size=num_devices)
+    return [base.scaled(float(f), name=f"{base.name}-p{i}") for i, f in enumerate(factors)]

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite.
+
+Everything is deliberately tiny (16-dim model, <100-token vocabulary, a few
+dozen samples) so the whole suite runs in seconds while still exercising the
+real code paths: genuine backprop, routing, merging and federated rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Vocabulary, make_batches, make_gsm8k_like
+from repro.models import MoEModelConfig, MoETransformer, tiny_moe
+
+
+@pytest.fixture(scope="session")
+def vocab() -> Vocabulary:
+    return Vocabulary(size=96, num_topics=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_config(vocab) -> MoEModelConfig:
+    return tiny_moe(vocab_size=vocab.size)
+
+
+@pytest.fixture()
+def tiny_model(tiny_config) -> MoETransformer:
+    return MoETransformer(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def gsm_dataset(vocab):
+    return make_gsm8k_like(vocab=vocab, num_samples=80, seed=7)
+
+
+@pytest.fixture(scope="session")
+def gsm_split(gsm_dataset):
+    return gsm_dataset.split(seed=7)
+
+
+@pytest.fixture()
+def gsm_batches(gsm_dataset, vocab, tiny_config):
+    return make_batches(gsm_dataset.samples[:24], batch_size=8, vocab=vocab,
+                        shuffle=False, max_seq_len=tiny_config.max_seq_len)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

@@ -1,0 +1,157 @@
+"""Unit tests for optimisers and gradient utilities."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    SGD,
+    Adam,
+    AdamW,
+    Linear,
+    Parameter,
+    Tensor,
+    apply_gradients,
+    clip_grad_norm,
+    collect_gradients,
+    flatten_parameters,
+    gradient_norm,
+    parameter_delta,
+)
+from repro.autograd import functional as F
+
+
+def quadratic_problem(optimizer_factory, steps=200):
+    """Minimise ||x - target||^2 and return the final distance."""
+    target = np.array([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = ((param - Tensor(target)) ** 2).sum()
+        loss.backward()
+        optimizer.step()
+    return float(np.abs(param.data - target).max())
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        assert quadratic_problem(lambda p: SGD(p, lr=0.1)) < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        assert quadratic_problem(lambda p: SGD(p, lr=0.05, momentum=0.9)) < 1e-3
+
+    def test_adam_converges(self):
+        assert quadratic_problem(lambda p: Adam(p, lr=0.1)) < 1e-2
+
+    def test_adamw_converges(self):
+        assert quadratic_problem(lambda p: AdamW(p, lr=0.1, weight_decay=1e-3)) < 5e-2
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.ones(4) * 10.0)
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.zeros(4)
+        optimizer.step()
+        assert np.all(param.data < 10.0)
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_frozen_parameters_not_updated(self):
+        param = Parameter(np.ones(3))
+        param.requires_grad = False
+        optimizer = SGD([param], lr=1.0)
+        param.grad = np.ones(3)
+        optimizer.step()
+        assert np.allclose(param.data, 1.0)
+
+    def test_none_gradients_are_skipped(self):
+        param = Parameter(np.ones(3))
+        optimizer = Adam([param], lr=1.0)
+        optimizer.step()  # no gradient set; must be a no-op
+        assert np.allclose(param.data, 1.0)
+
+    def test_zero_grad_clears(self):
+        param = Parameter(np.ones(3))
+        param.grad = np.ones(3)
+        SGD([param], lr=0.1).zero_grad()
+        assert param.grad is None
+
+    def test_training_a_small_classifier(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((64, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(np.int64)
+        layer = Linear(4, 2, rng=rng)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = F.cross_entropy(layer(Tensor(x)), y)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.5
+
+
+class TestClipGradNorm:
+    def test_clips_to_max_norm(self):
+        params = [Parameter(np.zeros(3)) for _ in range(2)]
+        for p in params:
+            p.grad = np.ones(3) * 10.0
+        before = clip_grad_norm(params, max_norm=1.0)
+        after = float(np.sqrt(sum((p.grad ** 2).sum() for p in params)))
+        assert before > 1.0
+        assert after == pytest.approx(1.0, rel=1e-6)
+
+    def test_no_clip_when_below_threshold(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.ones(3) * 0.1
+        clip_grad_norm([param], max_norm=10.0)
+        assert np.allclose(param.grad, 0.1)
+
+
+class TestGradUtils:
+    def _model_with_grads(self):
+        layer = Linear(3, 2)
+        layer(Tensor(np.ones((4, 3)))).sum().backward()
+        return layer
+
+    def test_gradient_norm_positive(self):
+        layer = self._model_with_grads()
+        assert gradient_norm(layer) > 0
+
+    def test_collect_and_apply_gradients(self):
+        layer = self._model_with_grads()
+        grads = collect_gradients(layer)
+        assert set(grads) == {"weight", "bias"}
+        other = Linear(3, 2)
+        apply_gradients(other, grads)
+        assert np.allclose(other.weight.grad, grads["weight"])
+
+    def test_apply_gradients_shape_mismatch(self):
+        other = Linear(3, 2)
+        with pytest.raises(ValueError):
+            apply_gradients(other, {"weight": np.zeros((1, 1))})
+
+    def test_flatten_parameters(self):
+        layer = Linear(3, 2)
+        flat = flatten_parameters(layer)
+        assert flat.shape == (3 * 2 + 2,)
+
+    def test_flatten_trainable_only(self):
+        layer = Linear(3, 2)
+        layer.bias.requires_grad = False
+        flat = flatten_parameters(layer, trainable_only=True)
+        assert flat.shape == (6,)
+
+    def test_parameter_delta(self):
+        before = {"a": np.zeros(3)}
+        after = {"a": np.ones(3), "b": np.ones(2)}
+        delta = parameter_delta(before, after)
+        assert set(delta) == {"a"}
+        assert np.allclose(delta["a"], 1.0)

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.autograd import Tensor
+
+finite_floats = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_dims=3, max_side=4):
+    return arrays(
+        dtype=np.float64,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, min_side=1, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_addition_gradient_is_ones(data):
+    t = Tensor(data.copy(), requires_grad=True)
+    (t + 1.0).sum().backward()
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_scaling_gradient_matches_factor(data):
+    t = Tensor(data.copy(), requires_grad=True)
+    (t * 3.5).sum().backward()
+    assert np.allclose(t.grad, 3.5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_softmax_rows_are_distributions(data):
+    t = Tensor(data.copy())
+    probs = t.softmax(axis=-1).data
+    assert np.all(probs >= 0)
+    assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_square_gradient_is_two_x(data):
+    t = Tensor(data.copy(), requires_grad=True)
+    (t * t).sum().backward()
+    assert np.allclose(t.grad, 2 * data, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4).flatmap(
+        lambda shape: st.tuples(
+            arrays(np.float64, shape, elements=finite_floats),
+            arrays(np.float64, shape, elements=finite_floats),
+        )
+    )
+)
+def test_addition_is_commutative_in_forward(pair):
+    a, b = pair
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    assert np.allclose(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (3, 4), elements=finite_floats),
+    arrays(np.float64, (4, 2), elements=finite_floats),
+)
+def test_matmul_matches_numpy(a, b):
+    out = (Tensor(a) @ Tensor(b)).data
+    assert np.allclose(out, a @ b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (5,), elements=st.floats(min_value=-3, max_value=3)))
+def test_tanh_bounded_and_gradient_bounded(data):
+    t = Tensor(data.copy(), requires_grad=True)
+    out = t.tanh()
+    out.sum().backward()
+    assert np.all(np.abs(out.data) <= 1.0)
+    assert np.all(t.grad <= 1.0 + 1e-12)
+    assert np.all(t.grad >= 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_mean_equals_sum_over_size(data):
+    t = Tensor(data.copy())
+    assert np.allclose(t.mean().item(), data.sum() / data.size)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_reshape_roundtrip_preserves_gradient_shape(data):
+    t = Tensor(data.copy(), requires_grad=True)
+    t.reshape(-1).sum().backward()
+    assert t.grad.shape == data.shape
+    assert np.allclose(t.grad, 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (4, 3), elements=st.floats(min_value=0.1, max_value=5.0)))
+def test_log_exp_inverse(data):
+    t = Tensor(data.copy())
+    assert np.allclose(t.log().exp().data, data, rtol=1e-9)

@@ -1,0 +1,205 @@
+"""Tests for quantized/stale profiling and adaptive layer budgets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.autograd import Adam
+from repro.core import (
+    FluxConfig,
+    QuantizedProfiler,
+    StaleProfiler,
+    adaptive_layer_budgets,
+    layer_budgets,
+    single_expert_budgets,
+    uniform_layer_budgets,
+)
+from repro.models.presets import ARCHITECTURE_DESCRIPTORS
+from repro.systems import CONSUMER_GPU, CostModel, MemoryModel
+
+
+class TestFluxConfigValidation:
+    def test_defaults_valid(self):
+        config = FluxConfig()
+        assert config.profiling_bits == 4
+        assert config.stale_profiling
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            FluxConfig(layer_budget_strategy="random")
+        with pytest.raises(ValueError):
+            FluxConfig(merging_strategy="sum")
+        with pytest.raises(ValueError):
+            FluxConfig(clustering_mode="global")
+        with pytest.raises(ValueError):
+            FluxConfig(profiling_bits=7)
+        with pytest.raises(ValueError):
+            FluxConfig(utility_smoothing=2.0)
+        with pytest.raises(ValueError):
+            FluxConfig(exploration_perturbations=0)
+
+    def test_epsilon_schedule_validation(self):
+        from repro.core import EpsilonSchedule
+        with pytest.raises(ValueError):
+            EpsilonSchedule(initial=1.5)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(warmup_rounds=0)
+
+    def test_epsilon_schedule_dynamic_growth(self):
+        from repro.core import EpsilonSchedule
+        schedule = EpsilonSchedule(initial=0.3, final=0.9, warmup_rounds=10)
+        assert schedule.value(0) == pytest.approx(0.3)
+        assert schedule.value(5) == pytest.approx(0.6)
+        assert schedule.value(50) == pytest.approx(0.9)
+
+    def test_epsilon_schedule_fixed(self):
+        from repro.core import EpsilonSchedule
+        schedule = EpsilonSchedule.fixed(0.7)
+        assert schedule.value(0) == schedule.value(100) == pytest.approx(0.7)
+
+
+class TestQuantizedProfiler:
+    def test_bit_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedProfiler(bits=6)
+
+    def test_profile_matches_reference_layer_count(self, tiny_model, gsm_batches):
+        profiler = QuantizedProfiler(bits=4)
+        outcome = profiler.profile(tiny_model, gsm_batches)
+        assert outcome.profile.num_layers == tiny_model.num_layers
+        assert not outcome.stale
+        assert outcome.num_tokens > 0
+
+    def test_cost_accounting_attached(self, tiny_model, gsm_batches):
+        cost = CostModel(CONSUMER_GPU, MemoryModel(ARCHITECTURE_DESCRIPTORS["llama-moe"]))
+        outcome = QuantizedProfiler(bits=2).profile(tiny_model, gsm_batches, cost_model=cost)
+        assert outcome.profiling_seconds > 0
+        assert outcome.quantization_seconds > 0
+
+    def test_max_batches_respected(self, tiny_model, gsm_batches):
+        profiler = QuantizedProfiler(bits=4, max_batches=1)
+        outcome = profiler.profile(tiny_model, gsm_batches)
+        assert outcome.num_tokens == gsm_batches[0].num_tokens
+
+    def test_requires_batches(self, tiny_model):
+        with pytest.raises(ValueError):
+            QuantizedProfiler(bits=4).profile(tiny_model, [])
+
+    def test_higher_precision_closer_to_reference(self, tiny_model, gsm_batches):
+        from repro.analysis import estimation_error
+        reference = QuantizedProfiler(bits=4).reference_profile(tiny_model, gsm_batches)
+        low = QuantizedProfiler(bits=2).profile(tiny_model, gsm_batches).profile
+        high = QuantizedProfiler(bits=8).profile(tiny_model, gsm_batches).profile
+        assert estimation_error(reference, high) <= estimation_error(reference, low) + 1e-9
+
+
+class TestStaleProfiler:
+    def test_first_round_returns_fresh(self, tiny_model, gsm_batches):
+        profiler = StaleProfiler(bits=4, enabled=True)
+        outcome = profiler.profile_for_round(tiny_model, gsm_batches)
+        assert not outcome.stale
+
+    def test_second_round_returns_previous_profile(self, tiny_model, gsm_batches):
+        profiler = StaleProfiler(bits=4, enabled=True)
+        first = profiler.profile_for_round(tiny_model, gsm_batches)
+        # perturb the model so a fresh profile would differ
+        optimizer = Adam(list(tiny_model.parameters()), lr=5e-2)
+        loss = tiny_model.compute_loss(gsm_batches[0].input_ids,
+                                       labels=gsm_batches[0].labels,
+                                       attention_mask=gsm_batches[0].attention_mask)
+        loss.backward()
+        optimizer.step()
+        second = profiler.profile_for_round(tiny_model, gsm_batches)
+        assert second.stale
+        for fa, fb in zip(first.profile.frequencies, second.profile.frequencies):
+            assert np.allclose(fa, fb)
+
+    def test_disabled_stale_profiling_always_fresh(self, tiny_model, gsm_batches):
+        profiler = StaleProfiler(bits=4, enabled=False)
+        profiler.profile_for_round(tiny_model, gsm_batches)
+        second = profiler.profile_for_round(tiny_model, gsm_batches)
+        assert not second.stale
+
+    def test_staleness_error_is_finite(self, tiny_model, gsm_batches):
+        profiler = StaleProfiler(bits=4, enabled=True)
+        assert profiler.staleness_error(tiny_model, gsm_batches) == 0.0
+        profiler.profile_for_round(tiny_model, gsm_batches)
+        error = profiler.staleness_error(tiny_model, gsm_batches)
+        assert np.isfinite(error)
+
+
+class TestLayerBudgets:
+    def _frequencies(self, skew_first=True):
+        skewed = np.array([0.7, 0.1, 0.1, 0.1])
+        balanced = np.array([0.25, 0.25, 0.25, 0.25])
+        return [skewed if skew_first else balanced, balanced]
+
+    def test_adaptive_budget_sums_to_total(self):
+        budgets = adaptive_layer_budgets(6, self._frequencies())
+        assert sum(budgets) == 6
+        assert all(b >= 1 for b in budgets)
+
+    def test_adaptive_budget_capped_by_capacity_and_redistributed(self):
+        # two layers with 4 experts each can absorb at most 8 merged slots
+        budgets = adaptive_layer_budgets(10, self._frequencies())
+        assert sum(budgets) == 8
+        assert all(1 <= b <= 4 for b in budgets)
+
+    def test_adaptive_prefers_early_layers(self):
+        balanced = [np.full(4, 0.25) for _ in range(4)]
+        budgets = adaptive_layer_budgets(12, balanced)
+        assert budgets[0] >= budgets[-1]
+
+    def test_adaptive_prefers_balanced_layers(self):
+        frequencies = self._frequencies(skew_first=True)
+        budgets = adaptive_layer_budgets(10, frequencies)
+        # layer 1 (balanced, later) can still beat layer 0 (skewed, earlier)
+        # when skew dominates the depth weight; at minimum the skewed layer
+        # should not receive the whole budget
+        assert budgets[0] < 10
+
+    def test_uniform_budget_even_split(self):
+        budgets = uniform_layer_budgets(8, 4)
+        assert budgets == [2, 2, 2, 2]
+
+    def test_single_budget(self):
+        assert single_expert_budgets(3) == [1, 1, 1]
+        with pytest.raises(ValueError):
+            single_expert_budgets(0)
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            adaptive_layer_budgets(1, self._frequencies())
+
+    def test_budget_capped_by_layer_expert_count(self):
+        frequencies = [np.full(2, 0.5), np.full(8, 0.125)]
+        budgets = adaptive_layer_budgets(12, frequencies)
+        assert budgets[0] <= 2
+
+    def test_dispatch_by_strategy(self):
+        frequencies = self._frequencies()
+        assert sum(layer_budgets("adaptive", 5, frequencies)) == 5
+        assert layer_budgets("uniform", 6, frequencies) == [3, 3]
+        assert layer_budgets("single", 6, frequencies) == [1, 1]
+        with pytest.raises(ValueError):
+            layer_budgets("other", 6, frequencies)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_adaptive_budget_properties(num_layers, extra_budget, seed):
+    """Adaptive budgets always sum to the requested total and respect floors."""
+    rng = np.random.default_rng(seed)
+    frequencies = []
+    for _ in range(num_layers):
+        raw = rng.random(6) + 1e-3
+        frequencies.append(raw / raw.sum())
+    total = num_layers + extra_budget
+    budgets = adaptive_layer_budgets(total, frequencies)
+    assert sum(budgets) <= total
+    assert all(1 <= b <= 6 for b in budgets)

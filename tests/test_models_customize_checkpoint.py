@@ -1,0 +1,126 @@
+"""Tests for customized MoE construction and checkpoint save/load APIs."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    MoETransformer,
+    customized_moe,
+    load_checkpoint,
+    load_model,
+    resolve_exps_config,
+    save_checkpoint,
+    tiny_moe,
+)
+
+
+class TestResolveExpsConfig:
+    def test_int_broadcasts(self):
+        assert resolve_exps_config(3, 4, [8, 8, 8, 8]) == [3, 3, 3, 3]
+
+    def test_list_passthrough(self):
+        assert resolve_exps_config([1, 2, 3], 3, [8, 8, 8]) == [1, 2, 3]
+
+    def test_list_wrong_length(self):
+        with pytest.raises(ValueError):
+            resolve_exps_config([1, 2], 3, [8, 8, 8])
+
+    def test_dict_overrides_defaults(self):
+        assert resolve_exps_config({1: 2}, 3, [8, 8, 8]) == [8, 2, 8]
+
+    def test_dict_bad_layer(self):
+        with pytest.raises(KeyError):
+            resolve_exps_config({7: 2}, 3, [8, 8, 8])
+
+    def test_zero_experts_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_exps_config(0, 2, [4, 4])
+
+
+class TestCustomizedMoE:
+    def test_expert_counts_change(self, tiny_model):
+        custom = customized_moe(tiny_model, [2, 3])
+        assert custom.local_experts_per_layer() == [2, 3]
+
+    def test_non_expert_parameters_copied(self, tiny_model):
+        custom = customized_moe(tiny_model, 2)
+        assert np.allclose(custom.token_embedding.weight.data,
+                           tiny_model.token_embedding.weight.data)
+        assert np.allclose(custom.blocks[0].attn.q_proj.weight.data,
+                           tiny_model.blocks[0].attn.q_proj.weight.data)
+
+    def test_kept_experts_copied_in_order(self, tiny_model):
+        custom = customized_moe(tiny_model, 2)
+        for layer in range(tiny_model.num_layers):
+            for expert in range(2):
+                assert np.allclose(
+                    custom.get_expert(layer, expert).weight_vector(),
+                    tiny_model.get_expert(layer, expert).weight_vector(),
+                )
+
+    def test_gate_rows_transferred(self, tiny_model):
+        custom = customized_moe(tiny_model, 2)
+        original_gate = tiny_model.blocks[0].moe.gate.proj.weight.data
+        assert np.allclose(custom.blocks[0].moe.gate.proj.weight.data, original_gate[:2])
+
+    def test_growing_expert_count(self, tiny_model):
+        grown = customized_moe(tiny_model, 6)
+        assert grown.local_experts_per_layer() == [6, 6]
+        # original experts preserved
+        assert np.allclose(grown.get_expert(0, 0).weight_vector(),
+                           tiny_model.get_expert(0, 0).weight_vector())
+
+    def test_top_k_violation_rejected(self, tiny_model):
+        with pytest.raises(ValueError):
+            customized_moe(tiny_model, 1)  # top_k=2 > 1 expert
+
+    def test_custom_model_forward_and_loss(self, tiny_model, tiny_config):
+        custom = customized_moe(tiny_model, [2, 4])
+        ids = np.random.default_rng(0).integers(0, tiny_config.vocab_size, size=(2, 10))
+        loss = custom.compute_loss(ids)
+        assert np.isfinite(loss.item())
+
+
+class TestCheckpoints:
+    def test_save_load_roundtrip(self, tiny_model, tmp_path):
+        path = os.path.join(tmp_path, "model.npz")
+        save_checkpoint(tiny_model, path)
+        loaded = load_checkpoint(path)
+        for (_, a), (_, b) in zip(tiny_model.named_parameters(), loaded.named_parameters()):
+            assert np.allclose(a.data, b.data)
+        assert loaded.config.name == tiny_model.config.name
+
+    def test_load_model_without_customization(self, tiny_model, tmp_path):
+        path = os.path.join(tmp_path, "model.npz")
+        save_checkpoint(tiny_model, path)
+        loaded = load_model(path)
+        assert loaded.local_experts_per_layer() == tiny_model.local_experts_per_layer()
+
+    def test_load_model_with_exps_config(self, tiny_model, tmp_path):
+        path = os.path.join(tmp_path, "model.npz")
+        save_checkpoint(tiny_model, path)
+        custom = load_model(path, exps_config=[2, 3])
+        assert custom.local_experts_per_layer() == [2, 3]
+        assert np.allclose(custom.get_expert(0, 0).weight_vector(),
+                           tiny_model.get_expert(0, 0).weight_vector())
+
+    def test_load_model_accepts_path_without_extension(self, tiny_model, tmp_path):
+        path = os.path.join(tmp_path, "ckpt")
+        save_checkpoint(tiny_model, path)
+        loaded = load_model(path)
+        assert loaded is not None
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(os.path.join(tmp_path, "nope.npz"))
+
+    def test_checkpoint_preserves_per_layer_expert_lists(self, tmp_path, vocab):
+        config = tiny_moe(vocab_size=vocab.size)
+        config = config.with_experts([2, 4])
+        model = MoETransformer(config)
+        path = os.path.join(tmp_path, "custom.npz")
+        save_checkpoint(model, path)
+        loaded = load_checkpoint(path)
+        assert loaded.local_experts_per_layer() == [2, 4]
