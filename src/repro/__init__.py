@@ -27,6 +27,18 @@ Quickstart::
     tuner = FluxFineTuner(server, participants, test, config=RunConfig())
     result = tuner.run(num_rounds=5)
     print(result.tracker.as_series())
+
+The ``RunConfig`` runtime block selects the :mod:`repro.runtime` execution
+engine: ``scheduler`` picks the aggregation policy (``"sync"`` — the default,
+the paper's synchronous loop; ``"semisync"`` — deadline-based with straggler
+dropping; ``"async"`` — FedBuff-style buffered aggregation with
+staleness-discounted updates), ``sampler`` the client-selection policy,
+``dropout_prob``/``straggler_prob`` seeded fault injection, and
+``executor="process"`` parallel local training across worker processes::
+
+    async_config = RunConfig(scheduler="async", buffer_size=4,
+                             participants_per_round=8, straggler_prob=0.2)
+    result = FluxFineTuner(server, participants, test, config=async_config).run(20)
 """
 
 from .baselines import FMDFineTuner, FMESFineTuner, FMQFineTuner
@@ -57,6 +69,20 @@ from .federated import (
     RunResult,
 )
 from .metrics import PerformanceTracker, evaluate_model
+from .runtime import (
+    AsyncScheduler,
+    AvailabilityTraceSampler,
+    EventQueue,
+    FaultInjector,
+    ProcessPoolParticipantExecutor,
+    ResourceAwareSampler,
+    Scheduler,
+    SemiSyncScheduler,
+    SerialExecutor,
+    SyncScheduler,
+    UniformSampler,
+    make_scheduler,
+)
 from .models import (
     MoEModelConfig,
     MoETransformer,
@@ -109,6 +135,19 @@ __all__ = [
     # metrics
     "evaluate_model",
     "PerformanceTracker",
+    # runtime (event-driven execution engine)
+    "EventQueue",
+    "Scheduler",
+    "SyncScheduler",
+    "SemiSyncScheduler",
+    "AsyncScheduler",
+    "make_scheduler",
+    "UniformSampler",
+    "ResourceAwareSampler",
+    "AvailabilityTraceSampler",
+    "FaultInjector",
+    "SerialExecutor",
+    "ProcessPoolParticipantExecutor",
     # Flux + baselines
     "FluxConfig",
     "EpsilonSchedule",

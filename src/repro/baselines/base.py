@@ -59,7 +59,7 @@ def expert_updates_from_model(
 
 def communication_seconds(participant: Participant, cost_model: Optional[CostModel],
                           download_experts: int, upload_experts: int,
-                          bytes_per_param: int = 2) -> float:
+                          bytes_per_param: float = 2.0) -> float:
     """Transfer time for a participant's round, or 0 without a cost model."""
     if cost_model is None:
         return 0.0

@@ -11,6 +11,7 @@ convergence, lowest final accuracy).
 from __future__ import annotations
 
 from ..federated import Participant, ParticipantRoundResult
+from ..federated.communication import bytes_per_param_for_bits
 from ..quantization import quantize_model
 from ..systems import RoundCostBreakdown
 from .base import FederatedFineTuner, communication_seconds, expert_updates_from_model
@@ -53,10 +54,11 @@ class FMQFineTuner(FederatedFineTuner):
             breakdown.training = cost_model.training_time(
                 cost_model.scaled_tokens(result.num_samples),
                 tuning_experts=total_experts, frozen_experts=0, quantized=True)
+            # Both directions travel at the quantized wire precision.
             breakdown.communication = communication_seconds(
                 participant, cost_model,
                 download_experts=total_experts, upload_experts=total_experts,
-                bytes_per_param=1)
+                bytes_per_param=bytes_per_param_for_bits(self.bits))
         return ParticipantRoundResult(
             updates=updates,
             breakdown=breakdown,

@@ -97,6 +97,19 @@ class FluxFineTuner(FederatedFineTuner):
             },
         )
 
+    # ------------------------------------------------------- participant state
+    def export_participant_state(self, participant_id: int) -> Dict:
+        """Include the Flux per-client state (profiling cache + utilities)."""
+        state = super().export_participant_state(participant_id)
+        flux = self.states[participant_id]
+        state["flux"] = (flux.profiler, flux.utilities, flux.latest_profile)
+        return state
+
+    def import_participant_state(self, participant_id: int, state: Dict) -> None:
+        super().import_participant_state(participant_id, state)
+        flux = self.states[participant_id]
+        flux.profiler, flux.utilities, flux.latest_profile = state["flux"]
+
     # -------------------------------------------------------------- inspection
     def current_assignments(self) -> Dict[int, RoleAssignment]:
         """Most recent role assignments (for logging and tests)."""

@@ -2,7 +2,7 @@
 
 from .aggregation import ExpertKey, ExpertUpdate, apply_fedavg, fedavg_states, group_updates
 from .client import LocalTrainResult, Participant, ParticipantResources
-from .communication import ExchangePlan
+from .communication import ExchangePlan, bytes_per_param_for_bits
 from .privacy import GaussianMechanism, epsilon_estimate
 from .orchestrator import (
     FederatedFineTuner,
@@ -23,6 +23,7 @@ __all__ = [
     "ParticipantResources",
     "LocalTrainResult",
     "ExchangePlan",
+    "bytes_per_param_for_bits",
     "GaussianMechanism",
     "epsilon_estimate",
     "ParameterServer",

@@ -3,6 +3,11 @@
 Thin helpers translating "how many experts moved between a participant and the
 server" into bytes and (via the participant's device profile) seconds.  The
 orchestrator charges these times into each round's cost breakdown.
+
+``bytes_per_param`` follows the wire precision of the method: full-precision
+methods ship FP16/BF16 (2 bytes), quantized methods ship ``bits / 8`` bytes per
+parameter (see :meth:`ExchangePlan.for_bits`), so e.g. FMQ's INT4 round trips
+charge a quarter of the FP16 transfer time.
 """
 
 from __future__ import annotations
@@ -11,6 +16,16 @@ from dataclasses import dataclass
 
 from ..systems import CostModel
 
+#: wire bytes per parameter for full-precision (FP16/BF16) exchange
+FULL_PRECISION_BYTES_PER_PARAM = 2.0
+
+
+def bytes_per_param_for_bits(bits: int) -> float:
+    """Wire bytes per parameter when experts are quantized to ``bits`` bits."""
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    return bits / 8.0
+
 
 @dataclass
 class ExchangePlan:
@@ -18,7 +33,14 @@ class ExchangePlan:
 
     download_experts: int
     upload_experts: int
-    bytes_per_param: int = 2
+    bytes_per_param: float = FULL_PRECISION_BYTES_PER_PARAM
+
+    @classmethod
+    def for_bits(cls, download_experts: int, upload_experts: int,
+                 bits: int) -> "ExchangePlan":
+        """An exchange whose payloads are quantized to ``bits`` bits/param."""
+        return cls(download_experts=download_experts, upload_experts=upload_experts,
+                   bytes_per_param=bytes_per_param_for_bits(bits))
 
     def communication_seconds(self, cost_model: CostModel) -> float:
         """Total transfer time for this exchange on the participant's link."""

@@ -1,18 +1,25 @@
-"""The federated fine-tuning round loop shared by Flux and all baselines.
+"""The federated fine-tuning orchestration shared by Flux and all baselines.
 
-:class:`FederatedFineTuner` owns everything common to every method: participant
-sampling, the synchronous round structure, FedAvg aggregation, simulated-time
-accounting and per-round evaluation.  Concrete methods (Flux, FMD, FMQ, FMES)
-implement a single hook — :meth:`FederatedFineTuner.participant_round` — that
-runs one participant's local work and returns its expert updates plus a cost
-breakdown.
+:class:`FederatedFineTuner` owns everything common to every method: the hooks
+one participant round implements, FedAvg aggregation, simulated-time accounting
+and per-round evaluation.  Concrete methods (Flux, FMD, FMQ, FMES) implement a
+single hook — :meth:`FederatedFineTuner.participant_round` — that runs one
+participant's local work and returns its expert updates plus a cost breakdown.
+
+*When* and *on what* participant work runs is delegated to the
+:mod:`repro.runtime` subsystem: :meth:`FederatedFineTuner.run` hands the loop
+to the scheduler selected by :attr:`RunConfig.scheduler` (synchronous FedAvg by
+default, reproducing the legacy loop exactly; deadline-based semi-synchronous
+and FedBuff-style asynchronous aggregation otherwise), which also applies
+client sampling, fault injection and — for round-based schedulers — optional
+process-pool parallel local training.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +38,8 @@ class RunConfig:
 
     Mirrors the paper's §8.1 settings (mini-batch 16, one local iteration per
     round, 20 participants per round) with a learning rate recalibrated for the
-    mini models.
+    mini models.  The runtime block selects the :mod:`repro.runtime` scheduling
+    policy; the defaults reproduce the legacy synchronous loop exactly.
     """
 
     batch_size: int = 16
@@ -43,6 +51,42 @@ class RunConfig:
     eval_max_samples: Optional[int] = 64
     target_relative_accuracy: float = 1.0
     seed: int = 0
+
+    # --- runtime: aggregation policy (repro.runtime.scheduler)
+    scheduler: str = "sync"                  # "sync" | "semisync" | "async"
+    deadline_seconds: Optional[float] = None     # semisync: fixed round deadline
+    deadline_quantile: float = 0.8           # semisync: else this duration quantile
+    buffer_size: int = 4                     # async: updates per aggregation
+    staleness_exponent: float = 0.5          # async: update weight (1+s)^-a
+    async_concurrency: Optional[int] = None  # async: concurrent clients (None = participants_per_round)
+
+    # --- runtime: client sampling (repro.runtime.sampling)
+    sampler: str = "uniform"                 # "uniform" | "resource_aware" | "availability"
+    availability_trace: Optional[Mapping[int, Sequence[int]]] = None
+
+    # --- runtime: fault injection (repro.runtime.faults)
+    dropout_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_slowdown: float = 4.0
+
+    # --- runtime: local-training executor (repro.runtime.executor)
+    executor: str = "serial"                 # "serial" | "process"
+    executor_workers: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in ("sync", "semisync", "async"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.sampler not in ("uniform", "resource_aware", "availability"):
+            raise ValueError(f"unknown sampler {self.sampler!r}")
+        if self.executor not in ("serial", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        for name in ("dropout_prob", "straggler_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+        if self.buffer_size < 1:
+            raise ValueError("buffer_size must be positive")
 
 
 @dataclass
@@ -59,7 +103,7 @@ class ParticipantRoundResult:
 
 @dataclass
 class RoundResult:
-    """Aggregate outcome of one federated round."""
+    """Aggregate outcome of one federated round (= one server aggregation)."""
 
     round_index: int
     train_loss: float
@@ -67,6 +111,12 @@ class RoundResult:
     simulated_time: float
     round_duration: float
     timeline: RoundTimeline
+    #: scheduler bookkeeping (0 defaults keep legacy constructors working)
+    num_selected: int = 0
+    num_aggregated: int = 0
+    num_dropped: int = 0
+    num_stragglers: int = 0
+    mean_staleness: float = 0.0
 
 
 @dataclass
@@ -90,7 +140,12 @@ class RunResult:
 
 
 class FederatedFineTuner(abc.ABC):
-    """Base class implementing the synchronous federated round loop."""
+    """Base class for federated MoE fine-tuning methods.
+
+    The aggregation loop itself lives in :mod:`repro.runtime`; this class
+    carries the federation state (server, participants, cost models, clock)
+    and the method-specific hooks.
+    """
 
     #: human-readable method name used in benchmark reports
     name: str = "base"
@@ -112,6 +167,9 @@ class FederatedFineTuner(abc.ABC):
         self.config = config or RunConfig()
         self.clock = SimulatedClock()
         self._rng = np.random.default_rng(self.config.seed)
+        self._participants_by_id = {p.participant_id: p for p in self.participants}
+        self._legacy_scheduler = None
+        self._legacy_scheduler_key = None
 
     # ------------------------------------------------------------------ hooks
     @abc.abstractmethod
@@ -125,14 +183,34 @@ class FederatedFineTuner(abc.ABC):
                           results: Dict[int, ParticipantRoundResult]) -> None:
         """Hook invoked after the server aggregated this round's updates."""
 
+    # ------------------------------------------------------- participant state
+    def participant_by_id(self, participant_id: int) -> Participant:
+        return self._participants_by_id[participant_id]
+
+    def export_participant_state(self, participant_id: int) -> Dict:
+        """Picklable snapshot of everything ``participant_round`` mutated.
+
+        The process-pool executor runs ``participant_round`` on a *copy* of
+        this fine-tuner; replaying the export via
+        :meth:`import_participant_state` makes parallel execution
+        observationally identical to serial execution.  Subclasses that keep
+        extra per-client state (e.g. Flux) must extend both methods.
+        """
+        participant = self.participant_by_id(participant_id)
+        return {"round_seed": participant._round_seed}
+
+    def import_participant_state(self, participant_id: int, state: Dict) -> None:
+        """Apply a worker-side :meth:`export_participant_state` snapshot."""
+        participant = self.participant_by_id(participant_id)
+        participant._round_seed = state["round_seed"]
+
     # ------------------------------------------------------------------- loop
     def select_participants(self, round_index: int) -> List[Participant]:
-        """Choose the participants taking part in this round."""
-        per_round = self.config.participants_per_round
-        if per_round is None or per_round >= len(self.participants):
-            return list(self.participants)
-        picked = self._rng.choice(len(self.participants), size=per_round, replace=False)
-        return [self.participants[int(i)] for i in picked]
+        """Choose the participants taking part in this round (uniform policy)."""
+        from ..runtime import UniformSampler
+
+        return UniformSampler().sample(self.participants, self.config.participants_per_round,
+                                       round_index, self._rng)
 
     def cost_model_for(self, participant: Participant) -> Optional[CostModel]:
         return self.cost_models.get(participant.participant_id, participant.cost_model)
@@ -152,40 +230,42 @@ class FederatedFineTuner(abc.ABC):
         return self.test_dataset.spec.mini_target * self.config.target_relative_accuracy
 
     def run_round(self, round_index: int) -> Tuple[RoundResult, Dict[int, ParticipantRoundResult]]:
-        """Execute one synchronous federated round."""
-        selected = self.select_participants(round_index)
-        self.before_round(round_index, selected)
+        """Execute one synchronous federated round (legacy API).
 
-        timeline = RoundTimeline(round_index=round_index)
-        results: Dict[int, ParticipantRoundResult] = {}
-        all_updates: List[ExpertUpdate] = []
-        losses: List[float] = []
+        Equivalent to one :class:`~repro.runtime.SyncScheduler` round with the
+        sampler, fault injection and executor configured in :attr:`config`
+        (uniform / none / serial by default) — regardless of
+        ``config.scheduler``.  The scheduler is cached and rebuilt when the
+        relevant config fields change; call :meth:`close` to release its
+        worker pool when you drive rounds manually with ``executor="process"``.
+        """
+        from ..runtime import FaultInjector, SyncScheduler, make_executor, make_sampler
 
-        for participant in selected:
-            result = self.participant_round(participant, round_index)
-            results[participant.participant_id] = result
-            timeline.record_participant(participant.participant_id, result.breakdown,
-                                        overlap_profiling=result.overlap_profiling)
-            all_updates.extend(result.updates)
-            losses.append(result.train_loss)
+        key = (self.config.sampler, id(self.config.availability_trace),
+               self.config.executor, self.config.executor_workers,
+               self.config.dropout_prob, self.config.straggler_prob,
+               self.config.straggler_slowdown, self.config.seed)
+        if self._legacy_scheduler is None or self._legacy_scheduler_key != key:
+            self.close()
+            sampler = None if self.config.sampler == "uniform" else make_sampler(self.config)
+            self._legacy_scheduler = SyncScheduler(
+                sampler=sampler,
+                faults=FaultInjector.from_config(self.config),
+                executor=make_executor(self.config),
+            )
+            self._legacy_scheduler_key = key
+        return self._legacy_scheduler.run_round(self, round_index)
 
-        self.server.aggregate(all_updates)
-        server_cost = self._server_aggregation_time(len(all_updates))
-        timeline.server_time = server_cost
-        self.after_aggregation(round_index, results)
+    def close(self) -> None:
+        """Release runtime resources held by the legacy round API (idempotent).
 
-        duration = timeline.round_duration()
-        simulated_time = self.clock.advance(duration)
-        metric = self.evaluate()
-        round_result = RoundResult(
-            round_index=round_index,
-            train_loss=float(np.mean(losses)) if losses else 0.0,
-            metric_value=metric,
-            simulated_time=simulated_time,
-            round_duration=duration,
-            timeline=timeline,
-        )
-        return round_result, results
+        Only relevant after driving rounds via :meth:`run_round` with
+        ``executor="process"``; :meth:`run` closes its executor itself.
+        """
+        if self._legacy_scheduler is not None:
+            self._legacy_scheduler.executor.close()
+            self._legacy_scheduler = None
+            self._legacy_scheduler_key = None
 
     def _server_aggregation_time(self, num_updates: int) -> float:
         if not self.cost_models:
@@ -194,26 +274,15 @@ class FederatedFineTuner(abc.ABC):
         return any_cost_model.aggregation_time(num_updates)
 
     def run(self, num_rounds: int, stop_at_target: bool = False,
-            target_metric: Optional[float] = None) -> RunResult:
-        """Run ``num_rounds`` federated rounds (optionally stopping at the target)."""
-        if num_rounds < 1:
-            raise ValueError("num_rounds must be positive")
-        goal = target_metric if target_metric is not None else self.target_metric()
-        tracker = PerformanceTracker(target=goal)
-        run_timeline = RunTimeline()
-        rounds: List[RoundResult] = []
+            target_metric: Optional[float] = None, scheduler=None) -> RunResult:
+        """Run ``num_rounds`` aggregation rounds (optionally stopping at the target).
 
-        for round_index in range(num_rounds):
-            round_result, _ = self.run_round(round_index)
-            rounds.append(round_result)
-            run_timeline.add(round_result.timeline)
-            tracker.record(
-                round_index=round_index,
-                simulated_time=round_result.simulated_time,
-                metric_value=round_result.metric_value,
-                train_loss=round_result.train_loss,
-            )
-            if stop_at_target and round_result.metric_value >= goal:
-                break
+        The loop is driven by ``scheduler`` when given, else by the policy
+        :attr:`RunConfig.scheduler` selects (default: synchronous FedAvg,
+        identical to the historical loop).
+        """
+        from ..runtime import make_scheduler
 
-        return RunResult(method=self.name, tracker=tracker, timeline=run_timeline, rounds=rounds)
+        active = scheduler if scheduler is not None else make_scheduler(self.config)
+        return active.run(self, num_rounds, stop_at_target=stop_at_target,
+                          target_metric=target_metric)

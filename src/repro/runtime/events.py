@@ -1,0 +1,77 @@
+"""Discrete-event machinery for the federated runtime.
+
+The runtime models a federated deployment as a stream of timestamped events on
+a simulated clock (the same simulated seconds produced by
+:class:`~repro.systems.cost_model.CostModel` and accumulated by
+:class:`~repro.systems.timeline.SimulatedClock`).  An :class:`EventQueue` is a
+plain binary heap keyed on ``(time, sequence)``: events fire in simulated-time
+order, and events that share a timestamp fire in insertion order, which keeps
+every scheduler deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped occurrence in the simulated federation."""
+
+    time: float
+    seq: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    Ordering is ``(time, seq)``: strictly increasing sequence numbers break
+    timestamp ties in FIFO order, so two runs that push the same events in the
+    same order pop them in the same order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: str, **payload: Any) -> Event:
+        """Schedule ``kind`` at simulated second ``time``."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=float(time), seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Event:
+        """The earliest event without removing it."""
+        if not self._heap:
+            raise IndexError("peek on an empty event queue")
+        return self._heap[0][2]
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest event, or ``None`` when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_until(self, time: float) -> List[Event]:
+        """Pop every event with ``event.time <= time`` in firing order."""
+        fired: List[Event] = []
+        while self._heap and self._heap[0][0] <= time:
+            fired.append(self.pop())
+        return fired
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,145 @@
+"""Local-training executors: serial loop or process pool.
+
+Within one round (or one asynchronous wave) participants are independent: each
+trains against the global model as of the round start and mutates only its own
+state.  :class:`ProcessPoolParticipantExecutor` exploits that to run
+``FederatedFineTuner.participant_round`` for many clients in parallel worker
+processes, which is what makes 100+-client rounds tractable on multi-core
+hosts.  :class:`SerialExecutor` is the always-available fallback and the
+default.
+
+Parallel execution must be *observationally identical* to serial execution:
+workers receive a pickled snapshot of the fine-tuner, run one participant's
+round, and ship back both the round result and the participant's mutated
+per-client state (batch-shuffling seed, Flux profiling cache and utilities),
+which the parent re-imports via
+:meth:`~repro.federated.orchestrator.FederatedFineTuner.import_participant_state`.
+Because no participant reads another participant's state, replaying the
+exports yields exactly the serial outcome.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..federated.client import Participant
+
+
+def _run_participant_chunk(payload: bytes, participant_ids: Sequence[int],
+                           round_index: int) -> List[Tuple[int, object, dict]]:
+    """Worker-side: run a chunk of participants' rounds on one tuner snapshot.
+
+    Chunking means the (potentially large) tuner payload crosses the process
+    boundary once per worker rather than once per participant.  Participants
+    within a chunk run sequentially against the same snapshot, which is
+    exactly what the serial executor does — they are independent.
+    """
+    tuner = pickle.loads(payload)
+    out = []
+    for participant_id in participant_ids:
+        participant = tuner.participant_by_id(participant_id)
+        result = tuner.participant_round(participant, round_index)
+        out.append((participant_id, result, tuner.export_participant_state(participant_id)))
+    return out
+
+
+class ParticipantExecutor(abc.ABC):
+    """Runs the local work of a set of independent participants."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def run_participants(self, tuner, participants: Sequence[Participant],
+                         round_index: int) -> Dict[int, object]:
+        """Run ``participant_round`` for every participant; results keyed by id.
+
+        The returned dict preserves the order of ``participants``.
+        """
+
+    def close(self) -> None:
+        """Release any worker resources (idempotent)."""
+
+
+class SerialExecutor(ParticipantExecutor):
+    """In-process sequential execution (the legacy behaviour)."""
+
+    name = "serial"
+
+    def run_participants(self, tuner, participants: Sequence[Participant],
+                         round_index: int) -> Dict[int, object]:
+        return {participant.participant_id: tuner.participant_round(participant, round_index)
+                for participant in participants}
+
+
+class ProcessPoolParticipantExecutor(ParticipantExecutor):
+    """Fan participants out over a ``concurrent.futures`` process pool.
+
+    The fine-tuner is pickled once per call and shipped once per *worker*
+    (participants are split into one contiguous chunk per worker); workers
+    return ``(participant_id, result, state_export)`` triples and the parent
+    imports the state back so subsequent rounds match serial execution
+    exactly.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def __getstate__(self):
+        # A live pool holds thread locks and cannot cross a pickle boundary.
+        # This executor may sit on the fine-tuner (legacy run_round API) when
+        # the tuner itself is pickled for the workers; ship it pool-less and
+        # let any process that actually executes recreate its own pool.
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    def run_participants(self, tuner, participants: Sequence[Participant],
+                         round_index: int) -> Dict[int, object]:
+        if not participants:
+            return {}
+        pool = self._ensure_pool()
+        payload = pickle.dumps(tuner, protocol=pickle.HIGHEST_PROTOCOL)
+        workers = self.max_workers or os.cpu_count() or 1
+        ids = [p.participant_id for p in participants]
+        chunks = [chunk.tolist() for chunk in
+                  np.array_split(np.asarray(ids), min(workers, len(ids)))]
+        futures = [pool.submit(_run_participant_chunk, payload, chunk, round_index)
+                   for chunk in chunks if chunk]
+        collected: Dict[int, object] = {}
+        for future in futures:
+            for participant_id, result, state in future.result():
+                tuner.import_participant_state(participant_id, state)
+                collected[participant_id] = result
+        return {pid: collected[pid] for pid in ids}  # preserve participants order
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_executor(config) -> ParticipantExecutor:
+    """Build the executor selected by a :class:`~repro.federated.RunConfig`."""
+    name = getattr(config, "executor", "serial")
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessPoolParticipantExecutor(
+            max_workers=getattr(config, "executor_workers", None))
+    raise ValueError(f"unknown executor {name!r}")

@@ -1,0 +1,97 @@
+"""Seeded fault injection: stragglers and dropouts.
+
+Real federated fleets lose clients mid-round (network churn, battery, user
+interaction) and see order-of-magnitude slowdowns from background load.  The
+:class:`FaultInjector` layers both on top of the analytical
+:class:`~repro.systems.cost_model.CostModel` durations: a straggler's round
+time is multiplied by ``straggler_slowdown``, a dropped client contributes
+nothing.
+
+Every draw comes from a generator derived from ``(seed, round, participant)``
+rather than from call order or module-level ``np.random``, so fault outcomes
+are reproducible run-to-run *and* independent of execution order — the serial
+and process-pool executors see identical faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..systems import RoundCostBreakdown
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What the injector decided for one (round, participant) pair."""
+
+    slowdown: float = 1.0
+    dropped: bool = False
+
+    @property
+    def is_straggler(self) -> bool:
+        return self.slowdown > 1.0
+
+
+def scale_breakdown(breakdown: RoundCostBreakdown, factor: float) -> RoundCostBreakdown:
+    """A copy of ``breakdown`` with every phase scaled by ``factor``.
+
+    ``RoundCostBreakdown.total`` is linear in its phases (including under
+    profiling overlap), so scaling the phases scales the total identically.
+    """
+    if factor == 1.0:
+        return breakdown
+    return RoundCostBreakdown(**{phase: value * factor
+                                 for phase, value in breakdown.as_dict().items()})
+
+
+@dataclass
+class FaultInjector:
+    """Seeded straggler and dropout injection for one run."""
+
+    dropout_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_slowdown: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("dropout_prob", "straggler_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        return self.dropout_prob > 0.0 or self.straggler_prob > 0.0
+
+    def outcome(self, round_index: int, participant_id: int) -> FaultOutcome:
+        """The (deterministic) fault outcome for one participant this round."""
+        if not self.active:
+            return FaultOutcome()
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed & 0xFFFFFFFF, 0x7A17,
+                                    int(round_index), int(participant_id)]))
+        # Fixed draw order keeps the stream stable as probabilities change.
+        drop_draw, straggle_draw = rng.random(2)
+        if drop_draw < self.dropout_prob:
+            return FaultOutcome(dropped=True)
+        if straggle_draw < self.straggler_prob:
+            return FaultOutcome(slowdown=self.straggler_slowdown)
+        return FaultOutcome()
+
+    def outcomes(self, round_index: int, participant_ids) -> Dict[int, FaultOutcome]:
+        return {pid: self.outcome(round_index, pid) for pid in participant_ids}
+
+    @classmethod
+    def from_config(cls, config) -> "FaultInjector":
+        """Build the injector a :class:`~repro.federated.RunConfig` describes."""
+        return cls(
+            dropout_prob=getattr(config, "dropout_prob", 0.0),
+            straggler_prob=getattr(config, "straggler_prob", 0.0),
+            straggler_slowdown=getattr(config, "straggler_slowdown", 4.0),
+            seed=getattr(config, "seed", 0),
+        )

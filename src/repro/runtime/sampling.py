@@ -1,0 +1,127 @@
+"""Client samplers: which participants take part in a round.
+
+The legacy round loop sampled ``participants_per_round`` clients uniformly with
+the orchestrator's run RNG.  :class:`UniformSampler` reproduces that draw
+bit-for-bit; :class:`ResourceAwareSampler` biases selection towards faster
+devices (a common straggler-mitigation policy), and
+:class:`AvailabilityTraceSampler` restricts each round to the clients an
+availability trace marks online, modelling diurnal device availability.
+
+All samplers draw exclusively from the generator handed in by the caller
+(derived from :attr:`RunConfig.seed`), never from module-level ``np.random``,
+so identical configs yield identical selections.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..federated.client import Participant
+
+#: an availability trace: round index -> participant ids online that round,
+#: or a predicate ``(round_index, participant_id) -> bool``
+AvailabilityTrace = Union[Mapping[int, Sequence[int]], Callable[[int, int], bool]]
+
+
+class ClientSampler(abc.ABC):
+    """Strategy choosing the participants of one round."""
+
+    name: str = "base"
+
+    @abc.abstractmethod
+    def sample(self, participants: Sequence[Participant], num: Optional[int],
+               round_index: int, rng: np.random.Generator) -> List[Participant]:
+        """Pick the participants for ``round_index``.
+
+        ``num=None`` means "everyone".  Implementations must draw only from
+        ``rng`` so runs stay seed-deterministic.
+        """
+
+
+class UniformSampler(ClientSampler):
+    """Uniform sampling without replacement (the legacy inline policy)."""
+
+    name = "uniform"
+
+    def sample(self, participants: Sequence[Participant], num: Optional[int],
+               round_index: int, rng: np.random.Generator) -> List[Participant]:
+        if num is None or num >= len(participants):
+            return list(participants)
+        picked = rng.choice(len(participants), size=num, replace=False)
+        return [participants[int(i)] for i in picked]
+
+
+class ResourceAwareSampler(ClientSampler):
+    """Sampling biased towards well-provisioned devices.
+
+    Selection probability is proportional to each device's effective training
+    throughput raised to ``power`` (``power=0`` recovers uniform sampling).
+    """
+
+    name = "resource_aware"
+
+    def __init__(self, power: float = 1.0) -> None:
+        if power < 0:
+            raise ValueError("power must be non-negative")
+        self.power = power
+
+    def sample(self, participants: Sequence[Participant], num: Optional[int],
+               round_index: int, rng: np.random.Generator) -> List[Participant]:
+        if num is None or num >= len(participants):
+            return list(participants)
+        weights = np.array([p.device.effective_flops for p in participants], dtype=float)
+        weights = np.power(np.maximum(weights, 1e-12), self.power)
+        probabilities = weights / weights.sum()
+        picked = rng.choice(len(participants), size=num, replace=False, p=probabilities)
+        return [participants[int(i)] for i in picked]
+
+
+class AvailabilityTraceSampler(ClientSampler):
+    """Uniform sampling restricted to the clients an availability trace allows.
+
+    ``trace`` is either a mapping from round index to the participant ids that
+    are online that round (rounds missing from the mapping mean "everyone is
+    online"), or a predicate ``(round_index, participant_id) -> bool``.  When
+    fewer clients are online than requested, every online client is selected.
+    """
+
+    name = "availability"
+
+    def __init__(self, trace: AvailabilityTrace) -> None:
+        self.trace = trace
+
+    def available(self, participants: Sequence[Participant],
+                  round_index: int) -> List[Participant]:
+        if callable(self.trace):
+            return [p for p in participants if self.trace(round_index, p.participant_id)]
+        online = self.trace.get(round_index)
+        if online is None:
+            return list(participants)
+        online_ids = {int(i) for i in online}
+        return [p for p in participants if p.participant_id in online_ids]
+
+    def sample(self, participants: Sequence[Participant], num: Optional[int],
+               round_index: int, rng: np.random.Generator) -> List[Participant]:
+        online = self.available(participants, round_index)
+        if num is None or num >= len(online):
+            return online
+        picked = rng.choice(len(online), size=num, replace=False)
+        return [online[int(i)] for i in picked]
+
+
+def make_sampler(config) -> ClientSampler:
+    """Build the sampler selected by a :class:`~repro.federated.RunConfig`."""
+    name = getattr(config, "sampler", "uniform")
+    if name == "uniform":
+        return UniformSampler()
+    if name == "resource_aware":
+        return ResourceAwareSampler()
+    if name == "availability":
+        trace = getattr(config, "availability_trace", None)
+        if trace is None:
+            raise ValueError("sampler='availability' requires config.availability_trace")
+        return AvailabilityTraceSampler(trace)
+    raise ValueError(f"unknown sampler {name!r}")

@@ -1,0 +1,454 @@
+"""Aggregation schedulers: when the server aggregates and on whose updates.
+
+The scheduler owns the *control plane* of a federated run — participant
+selection, simulated-time bookkeeping, fault handling and the aggregation
+trigger — while the *work* of one participant round stays behind
+:meth:`FederatedFineTuner.participant_round`.  Three policies are provided:
+
+:class:`SyncScheduler`
+    The paper's synchronous FedAvg loop: everyone selected trains, the round
+    ends when the slowest participant finishes, the server aggregates.  With
+    the default sampler/executor and no fault injection this reproduces the
+    legacy ``FederatedFineTuner`` loop bit-for-bit.
+
+:class:`SemiSyncScheduler`
+    Deadline-based aggregation: the round ends at a fixed deadline (or a
+    quantile of this round's predicted durations); whoever finished by then is
+    aggregated, stragglers are dropped.  Bounds round time under heterogeneity
+    at the price of wasted straggler work.
+
+:class:`AsyncScheduler`
+    FedBuff-style buffered asynchrony: clients train continuously; each
+    finished update enters a server buffer with the staleness it accumulated
+    (server versions elapsed since the client downloaded the model) and is
+    weight-discounted by ``(1 + staleness) ** -staleness_exponent``.  The
+    server aggregates whenever the buffer holds ``buffer_size`` updates; every
+    aggregation is reported as one "round".
+
+All schedulers drive the shared :class:`~repro.runtime.events.EventQueue` and
+draw randomness only from the fine-tuner's seeded run RNG plus the
+per-(round, participant) fault RNGs, so identical configs replay identical
+:class:`~repro.systems.timeline.RunTimeline`'s.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..federated.aggregation import ExpertUpdate
+from ..federated.client import Participant
+from ..federated.orchestrator import (
+    FederatedFineTuner,
+    ParticipantRoundResult,
+    RoundResult,
+    RunResult,
+)
+from ..metrics import PerformanceTracker
+from ..systems import RoundTimeline, RunTimeline
+from .events import EventQueue
+from .executor import ParticipantExecutor, SerialExecutor, make_executor
+from .faults import FaultInjector, FaultOutcome, scale_breakdown
+from .sampling import ClientSampler, UniformSampler, make_sampler
+
+
+class Scheduler(abc.ABC):
+    """Base class: the run loop shared by every aggregation policy."""
+
+    name: str = "base"
+
+    def __init__(
+        self,
+        sampler: Optional[ClientSampler] = None,
+        faults: Optional[FaultInjector] = None,
+        executor: Optional[ParticipantExecutor] = None,
+    ) -> None:
+        #: ``None`` delegates full-round selection to the fine-tuner's
+        #: (overridable) ``select_participants`` — the uniform legacy policy.
+        self.sampler = sampler
+        self.faults = faults or FaultInjector()
+        self.executor = executor or SerialExecutor()
+
+    # ------------------------------------------------------------------- loop
+    def run(self, tuner: FederatedFineTuner, num_rounds: int,
+            stop_at_target: bool = False,
+            target_metric: Optional[float] = None) -> RunResult:
+        """Run ``num_rounds`` aggregation rounds of ``tuner`` under this policy."""
+        if num_rounds < 1:
+            raise ValueError("num_rounds must be positive")
+        goal = target_metric if target_metric is not None else tuner.target_metric()
+        tracker = PerformanceTracker(target=goal)
+        run_timeline = RunTimeline()
+        rounds: List[RoundResult] = []
+        try:
+            for round_result in self.round_results(tuner, num_rounds):
+                rounds.append(round_result)
+                run_timeline.add(round_result.timeline)
+                tracker.record(
+                    round_index=round_result.round_index,
+                    simulated_time=round_result.simulated_time,
+                    metric_value=round_result.metric_value,
+                    train_loss=round_result.train_loss,
+                )
+                if stop_at_target and round_result.metric_value >= goal:
+                    break
+        finally:
+            self.executor.close()
+        return RunResult(method=tuner.name, tracker=tracker, timeline=run_timeline,
+                         rounds=rounds)
+
+    @abc.abstractmethod
+    def round_results(self, tuner: FederatedFineTuner,
+                      num_rounds: int) -> Iterator[RoundResult]:
+        """Yield one :class:`RoundResult` per aggregation round."""
+
+    # ---------------------------------------------------------------- helpers
+    def select(self, tuner: FederatedFineTuner, round_index: int) -> List[Participant]:
+        if self.sampler is None:
+            return tuner.select_participants(round_index)
+        return self.sampler.sample(tuner.participants, tuner.config.participants_per_round,
+                                   round_index, tuner._rng)
+
+    def _sample(self, tuner: FederatedFineTuner, participants: Sequence[Participant],
+                num: Optional[int], round_index: int) -> List[Participant]:
+        sampler = self.sampler or UniformSampler()
+        return sampler.sample(participants, num, round_index, tuner._rng)
+
+    def _execute_round_work(self, tuner: FederatedFineTuner, round_index: int
+                            ) -> Tuple[List[Participant], int,
+                                       List[Tuple[Participant, ParticipantRoundResult,
+                                                  float, FaultOutcome]]]:
+        """Sample clients, run hooks and local work, apply fault outcomes.
+
+        Clients the injector drops are filtered *before* they train: their
+        work would be discarded anyway and never gates the round, so skipping
+        it is observationally identical and avoids wasted compute.  Returns
+        ``(selected, num_dropped, entries)`` where each entry is
+        ``(participant, result, duration, fault)`` with straggler-scaled
+        breakdowns.
+        """
+        selected = self.select(tuner, round_index)
+        tuner.before_round(round_index, selected)
+        outcomes = {p.participant_id: self.faults.outcome(round_index, p.participant_id)
+                    for p in selected}
+        survivors = [p for p in selected if not outcomes[p.participant_id].dropped]
+        raw_results = self.executor.run_participants(tuner, survivors, round_index)
+        entries = []
+        for participant in survivors:
+            result = raw_results[participant.participant_id]
+            fault = outcomes[participant.participant_id]
+            if fault.is_straggler:
+                result = replace(result,
+                                 breakdown=scale_breakdown(result.breakdown, fault.slowdown))
+            entries.append((participant, result, self._result_duration(result), fault))
+        return selected, len(selected) - len(survivors), entries
+
+    def _aggregate_round(self, tuner: FederatedFineTuner, round_index: int,
+                         timeline: RoundTimeline,
+                         contributors: Sequence[Tuple[Participant, ParticipantRoundResult]]
+                         ) -> Tuple[Dict[int, ParticipantRoundResult], List[float]]:
+        """FedAvg the contributors into the global model and fill ``timeline``."""
+        results: Dict[int, ParticipantRoundResult] = {}
+        all_updates: List[ExpertUpdate] = []
+        losses: List[float] = []
+        for participant, result in contributors:
+            results[participant.participant_id] = result
+            timeline.record_participant(participant.participant_id, result.breakdown,
+                                        overlap_profiling=result.overlap_profiling)
+            all_updates.extend(result.updates)
+            losses.append(result.train_loss)
+        tuner.server.aggregate(all_updates)
+        timeline.server_time = tuner._server_aggregation_time(len(all_updates))
+        tuner.after_aggregation(round_index, results)
+        return results, losses
+
+    @staticmethod
+    def _result_duration(result: ParticipantRoundResult) -> float:
+        return result.breakdown.total(overlap_profiling=result.overlap_profiling)
+
+
+class SyncScheduler(Scheduler):
+    """The synchronous FedAvg round loop (legacy behaviour)."""
+
+    name = "sync"
+
+    def round_results(self, tuner: FederatedFineTuner,
+                      num_rounds: int) -> Iterator[RoundResult]:
+        for round_index in range(num_rounds):
+            round_result, _ = self.run_round(tuner, round_index)
+            yield round_result
+
+    def run_round(self, tuner: FederatedFineTuner, round_index: int
+                  ) -> Tuple[RoundResult, Dict[int, ParticipantRoundResult]]:
+        """Execute one synchronous federated round."""
+        selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
+        timeline = RoundTimeline(round_index=round_index)
+        results, losses = self._aggregate_round(
+            tuner, round_index, timeline,
+            [(participant, result) for participant, result, _, _ in entries])
+
+        duration = timeline.round_duration()
+        simulated_time = tuner.clock.advance(duration)
+        round_result = RoundResult(
+            round_index=round_index,
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            metric_value=tuner.evaluate(),
+            simulated_time=simulated_time,
+            round_duration=duration,
+            timeline=timeline,
+            num_selected=len(selected),
+            num_aggregated=len(results),
+            num_dropped=num_dropped,
+            num_stragglers=sum(1 for _, _, _, fault in entries if fault.is_straggler),
+        )
+        return round_result, results
+
+
+class SemiSyncScheduler(Scheduler):
+    """Deadline-based aggregation: take whoever finished, drop stragglers."""
+
+    name = "semisync"
+
+    def __init__(self, *args, deadline_seconds: Optional[float] = None,
+                 deadline_quantile: float = 0.8, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if not 0.0 < deadline_quantile <= 1.0:
+            raise ValueError("deadline_quantile must be in (0, 1]")
+        self.deadline_seconds = deadline_seconds
+        self.deadline_quantile = deadline_quantile
+
+    def round_results(self, tuner: FederatedFineTuner,
+                      num_rounds: int) -> Iterator[RoundResult]:
+        for round_index in range(num_rounds):
+            yield self._run_round(tuner, round_index)
+
+    def _round_deadline(self, durations: Sequence[float]) -> float:
+        if self.deadline_seconds is not None:
+            deadline = self.deadline_seconds
+        else:
+            deadline = float(np.quantile(np.asarray(durations), self.deadline_quantile))
+        # Never aggregate an empty round while someone is still working.
+        return max(deadline, min(durations))
+
+    def _run_round(self, tuner: FederatedFineTuner, round_index: int) -> RoundResult:
+        selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
+
+        queue = EventQueue()
+        durations: List[float] = []
+        for participant, result, duration, _ in entries:
+            durations.append(duration)
+            queue.push(duration, "finish", participant=participant, result=result)
+
+        deadline = self._round_deadline(durations) if durations else 0.0
+        arrivals = [(event.payload["participant"], event.payload["result"])
+                    for event in queue.pop_until(deadline)]
+        num_stragglers = len(queue)
+
+        timeline = RoundTimeline(round_index=round_index)
+        results, losses = self._aggregate_round(tuner, round_index, timeline, arrivals)
+
+        duration = deadline + timeline.server_time
+        timeline.duration_override = duration
+        simulated_time = tuner.clock.advance(duration)
+        return RoundResult(
+            round_index=round_index,
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            metric_value=tuner.evaluate(),
+            simulated_time=simulated_time,
+            round_duration=duration,
+            timeline=timeline,
+            num_selected=len(selected),
+            num_aggregated=len(results),
+            num_dropped=num_dropped,
+            num_stragglers=num_stragglers,
+        )
+
+
+class AsyncScheduler(Scheduler):
+    """FedBuff-style buffered asynchronous aggregation.
+
+    Clients train continuously (at most ``concurrency`` at a time): a client
+    downloads the current global model, trains, and its update lands in the
+    server buffer when it finishes; a new client is started in its place
+    immediately.  Once the buffer holds ``buffer_size`` updates the server
+    aggregates them with staleness-discounted weights and bumps the model
+    version.  Local training is executed serially because each client must
+    observe the global model exactly as of its simulated start time.
+    """
+
+    name = "async"
+
+    #: hard cap on processed finish-events per aggregation round (guards
+    #: against configs where dropout starves the buffer forever)
+    MAX_EVENTS_PER_ROUND = 10_000
+
+    def __init__(self, *args, buffer_size: int = 4, staleness_exponent: float = 0.5,
+                 concurrency: Optional[int] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if buffer_size < 1:
+            raise ValueError("buffer_size must be positive")
+        if staleness_exponent < 0:
+            raise ValueError("staleness_exponent must be non-negative")
+        if concurrency is not None and concurrency < 1:
+            raise ValueError("concurrency must be positive")
+        self.buffer_size = buffer_size
+        self.staleness_exponent = staleness_exponent
+        self.concurrency = concurrency
+
+    def staleness_discount(self, staleness: int) -> float:
+        """FedBuff's polynomial staleness discount for an update's weight."""
+        return float((1.0 + max(staleness, 0)) ** -self.staleness_exponent)
+
+    def round_results(self, tuner: FederatedFineTuner,
+                      num_rounds: int) -> Iterator[RoundResult]:
+        config = tuner.config
+        concurrency = self.concurrency or config.participants_per_round or len(tuner.participants)
+        concurrency = min(concurrency, len(tuner.participants))
+        queue = EventQueue()
+        active: set = set()
+        version = 0
+        task_counter = 0
+        buffer: List[dict] = []
+        dropped_since_aggregation = 0
+        last_aggregation_time = 0.0
+
+        def start_client(now: float) -> bool:
+            nonlocal task_counter
+            idle = [p for p in tuner.participants if p.participant_id not in active]
+            picked = self._sample(tuner, idle, 1, version) if idle else []
+            if not picked:
+                # Nobody idle (or the availability trace left nobody online).
+                return False
+            participant = picked[0]
+            active.add(participant.participant_id)
+            tuner.before_round(version, [participant])
+            result = tuner.participant_round(participant, version)
+            fault = self.faults.outcome(task_counter, participant.participant_id)
+            task_counter += 1
+            if fault.is_straggler:
+                result = replace(result,
+                                 breakdown=scale_breakdown(result.breakdown, fault.slowdown))
+            duration = self._result_duration(result)
+            queue.push(now + duration, "finish", participant=participant, result=result,
+                       start_version=version, dropped=fault.dropped)
+            return True
+
+        def refill_slots(now: float) -> None:
+            """Start clients until every concurrency slot is busy (or nobody
+            can start) — slots lost to an empty sample earlier are recovered."""
+            while len(active) < concurrency:
+                if not start_client(now):
+                    break
+
+        # If nobody can start at all (e.g. an availability trace with no one
+        # online at version 0), the queue stays empty and the run ends early
+        # with the rounds produced so far.
+        refill_slots(0.0)
+
+        events_this_round = 0
+        while version < num_rounds and queue:
+            event = queue.pop()
+            now = event.time
+            participant = event.payload["participant"]
+            active.discard(participant.participant_id)
+            events_this_round += 1
+            if events_this_round > self.MAX_EVENTS_PER_ROUND:
+                raise RuntimeError(
+                    "async federation starved: no aggregation within "
+                    f"{self.MAX_EVENTS_PER_ROUND} client finishes (check dropout_prob)")
+            if event.payload["dropped"]:
+                dropped_since_aggregation += 1
+            else:
+                buffer.append({
+                    "participant": participant,
+                    "result": event.payload["result"],
+                    "start_version": event.payload["start_version"],
+                    "finish_time": now,
+                })
+            if len(buffer) >= self.buffer_size:
+                round_result = self._aggregate(tuner, version, buffer,
+                                               dropped_since_aggregation, now,
+                                               last_aggregation_time)
+                last_aggregation_time = now + round_result.timeline.server_time
+                buffer = []
+                dropped_since_aggregation = 0
+                version += 1
+                events_this_round = 0
+                yield round_result
+            # Freed (and any previously unfillable) slots restart on the
+            # post-aggregation model.
+            refill_slots(now)
+
+    def _aggregate(self, tuner: FederatedFineTuner, version: int, buffer: List[dict],
+                   num_dropped: int, now: float,
+                   last_aggregation_time: float) -> RoundResult:
+        contributors: List[Tuple[Participant, ParticipantRoundResult]] = []
+        stalenesses: List[int] = []
+        for entry in buffer:
+            staleness = version - entry["start_version"]
+            stalenesses.append(staleness)
+            discount = self.staleness_discount(staleness)
+            result = entry["result"]
+            discounted = replace(result, updates=[
+                replace(update, weight=update.weight * discount)
+                for update in result.updates])
+            contributors.append((entry["participant"], discounted))
+
+        timeline = RoundTimeline(round_index=version)
+        _, losses = self._aggregate_round(tuner, version, timeline, contributors)
+
+        duration = max(now + timeline.server_time - last_aggregation_time, 0.0)
+        timeline.duration_override = duration
+        simulated_time = tuner.clock.advance(duration)
+        return RoundResult(
+            round_index=version,
+            train_loss=float(np.mean(losses)) if losses else 0.0,
+            metric_value=tuner.evaluate(),
+            simulated_time=simulated_time,
+            round_duration=duration,
+            timeline=timeline,
+            num_selected=len(buffer) + num_dropped,
+            num_aggregated=len(buffer),
+            num_dropped=num_dropped,
+            mean_staleness=float(np.mean(stalenesses)) if stalenesses else 0.0,
+        )
+
+
+SCHEDULERS = ("sync", "semisync", "async")
+
+
+def make_scheduler(config) -> Scheduler:
+    """Build the scheduler stack a :class:`~repro.federated.RunConfig` selects."""
+    name = getattr(config, "scheduler", "sync")
+    # The default uniform policy stays with the fine-tuner's (overridable)
+    # ``select_participants``; an explicit sampler choice takes precedence.
+    sampler = None if getattr(config, "sampler", "uniform") == "uniform" \
+        else make_sampler(config)
+    faults = FaultInjector.from_config(config)
+    if name == "async" and getattr(config, "executor", "serial") != "serial":
+        raise ValueError(
+            "scheduler='async' executes clients serially at their simulated start "
+            "times and cannot use executor="
+            f"{config.executor!r}; use executor='serial'")
+    executor = make_executor(config)
+    if name == "sync":
+        return SyncScheduler(sampler, faults, executor)
+    if name == "semisync":
+        return SemiSyncScheduler(
+            sampler, faults, executor,
+            deadline_seconds=getattr(config, "deadline_seconds", None),
+            deadline_quantile=getattr(config, "deadline_quantile", 0.8),
+        )
+    if name == "async":
+        return AsyncScheduler(
+            sampler, faults, executor,
+            buffer_size=getattr(config, "buffer_size", 4),
+            staleness_exponent=getattr(config, "staleness_exponent", 0.5),
+            concurrency=getattr(config, "async_concurrency", None),
+        )
+    raise ValueError(f"unknown scheduler {name!r} (expected one of {SCHEDULERS})")

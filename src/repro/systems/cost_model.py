@@ -166,13 +166,13 @@ class CostModel:
         """Seconds to solve the role-assignment optimisation for one participant."""
         return num_candidate_experts * 1e-4
 
-    def upload_time(self, num_experts: int, bytes_per_param: Optional[int] = None) -> float:
+    def upload_time(self, num_experts: int, bytes_per_param: Optional[float] = None) -> float:
         """Seconds to upload ``num_experts`` expert updates to the server."""
         per_param = bytes_per_param if bytes_per_param is not None else self.memory.bytes_per_param
         num_bytes = num_experts * self.memory.params_per_expert * per_param
         return self._transfer_seconds(num_bytes, self.device.network_bytes_per_s)
 
-    def download_time(self, num_experts: int, bytes_per_param: Optional[int] = None) -> float:
+    def download_time(self, num_experts: int, bytes_per_param: Optional[float] = None) -> float:
         """Seconds to download ``num_experts`` refreshed experts from the server."""
         return self.upload_time(num_experts, bytes_per_param=bytes_per_param)
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .cost_model import RoundCostBreakdown
 
@@ -40,6 +40,9 @@ class RoundTimeline:
     participant_times: Dict[int, float] = field(default_factory=dict)
     participant_breakdowns: Dict[int, RoundCostBreakdown] = field(default_factory=dict)
     server_time: float = 0.0
+    #: set by non-synchronous schedulers (deadline-based or buffered rounds)
+    #: whose wall-clock span is not "slowest participant + aggregation"
+    duration_override: Optional[float] = None
 
     def record_participant(self, participant_id: int, breakdown: RoundCostBreakdown,
                            overlap_profiling: bool = False) -> None:
@@ -48,6 +51,8 @@ class RoundTimeline:
 
     def round_duration(self) -> float:
         """Wall-clock duration: slowest participant plus server aggregation."""
+        if self.duration_override is not None:
+            return self.duration_override
         slowest = max(self.participant_times.values(), default=0.0)
         return slowest + self.server_time
 

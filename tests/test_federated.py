@@ -271,3 +271,19 @@ class TestRoundLoop:
         plan = ExchangePlan(download_experts=4, upload_experts=2)
         assert plan.communication_seconds(cost) > 0
         assert plan.total_bytes(cost) == pytest.approx(6 * memory.params_per_expert * 2)
+
+    def test_exchange_plan_quantized_wire_precision(self):
+        """Quantized exchanges charge bits/8 bytes per parameter, not FP16."""
+        from repro.federated import bytes_per_param_for_bits
+
+        memory = MemoryModel(ARCHITECTURE_DESCRIPTORS["llama-moe"])
+        cost = CostModel(CONSUMER_GPU, memory)
+        fp16 = ExchangePlan(download_experts=4, upload_experts=4)
+        int4 = ExchangePlan.for_bits(download_experts=4, upload_experts=4, bits=4)
+        assert bytes_per_param_for_bits(4) == pytest.approx(0.5)
+        assert int4.bytes_per_param == pytest.approx(0.5)
+        assert int4.total_bytes(cost) == pytest.approx(fp16.total_bytes(cost) / 4)
+        assert int4.communication_seconds(cost) == \
+            pytest.approx(fp16.communication_seconds(cost) / 4)
+        with pytest.raises(ValueError):
+            bytes_per_param_for_bits(0)

@@ -126,6 +126,7 @@ class TestMultiRoundRuns:
         round_result, results = tuner.run_round(0)
         assert len(results) == 3
 
+    @pytest.mark.slow
     def test_federated_training_improves_over_initial_model(self):
         """Several Flux rounds should beat the untrained model on the test split."""
         vocab = Vocabulary(size=96, num_topics=4)

@@ -85,6 +85,7 @@ class TestEvaluateModel:
         value = evaluate_model(model, dataset, max_samples=10)
         assert 0.0 <= value <= 1.0
 
+    @pytest.mark.slow
     def test_training_improves_generation_metric(self, vocab, tiny_config):
         model = MoETransformer(tiny_config)
         dataset = make_dolly_like(vocab=vocab, num_samples=60, seed=1)
