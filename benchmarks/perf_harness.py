@@ -1,0 +1,437 @@
+"""Perf-regression harness for the MoE training hot path.
+
+Times the throughput of the expert-dispatch hot loop and of end-to-end
+training steps for every (dispatch, dtype) configuration of the tensor
+engine, and writes the results to ``BENCH_hotpath.json`` so later PRs have a
+measured trajectory to defend.
+
+Two benchmark families per model preset:
+
+* ``hot_loop`` — the MoE hot-loop microbenchmark: the preset's MoE layer
+  driven directly (routing statistics enabled, attention profiling signal and
+  sample ids supplied, exactly as the transformer invokes it), phases
+  ``forward``, ``forward_backward`` and ``round`` (forward + backward + fused
+  Adam step).
+* ``end_to_end`` — full ``MoETransformer.compute_loss`` + backward + optimizer
+  step on the preset.
+
+Configurations measured: ``loop/float64`` (the seed's per-expert dispatch
+algorithm on the float64 engine), ``batched/float64`` and ``batched/float32``
+(the grouped-GEMM fast path).  ``--seed-src`` additionally benchmarks a
+pristine seed checkout (same driver, via a subprocess) and records it under
+``seed_reference``.
+
+Usage::
+
+    python benchmarks/perf_harness.py                     # full run
+    python benchmarks/perf_harness.py --quick             # CI smoke
+    python benchmarks/perf_harness.py --check BENCH_hotpath.json
+    python benchmarks/perf_harness.py --seed-src /path/to/seed/src
+
+The regression check compares the machine-independent *speedup* of
+``batched/float32`` over ``loop/float64`` against the committed baseline and
+fails (exit code 1) when it has regressed by more than ``--tolerance``
+(default 30%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+import tracemalloc
+from datetime import datetime, timezone
+from typing import Dict, Optional
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(REPO_ROOT, "src")):
+    # Appended (not prepended) so a PYTHONPATH pointing at another checkout —
+    # the --seed-src worker mechanism — takes precedence over this repo.
+    sys.path.append(os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+#: benchmarked (dispatch, dtype) configurations
+CONFIGS = (("loop", "float64"), ("batched", "float64"), ("batched", "float32"))
+
+#: the fast path and the baseline the speedup headline compares
+FAST_CONFIG = "batched/float32"
+BASELINE_CONFIG = "loop/float64"
+
+PRESET_NAMES = ("tiny_moe", "llama_moe_mini")
+
+
+def _best_time(fn, iters: int, reps: int) -> float:
+    """Best-of-``reps`` wall time of ``iters`` calls (robust to noisy hosts)."""
+    fn()  # warm-up: JIT-free but primes caches/allocator
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for _ in range(iters):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best / iters
+
+
+def _interleaved_best_times(config_fns: Dict[str, Dict], iters: int, reps: int) -> Dict[str, Dict[str, float]]:
+    """Best-of timing with configs/phases interleaved per repetition.
+
+    Sequential per-config timing lets slow host-load drift masquerade as a
+    speedup change; interleaving hits every config with the same drift so the
+    *ratios* the regression check relies on stay stable.
+    """
+    for phases in config_fns.values():
+        for fn in phases.values():
+            fn()  # warm-up
+    best: Dict[str, Dict[str, float]] = {
+        name: {phase: float("inf") for phase in phases}
+        for name, phases in config_fns.items()
+    }
+    for _ in range(reps):
+        for name, phases in config_fns.items():
+            for phase, fn in phases.items():
+                start = time.perf_counter()
+                for _ in range(iters):
+                    fn()
+                elapsed = (time.perf_counter() - start) / iters
+                if elapsed < best[name][phase]:
+                    best[name][phase] = elapsed
+    return best
+
+
+def _make_layer(preset: str, dispatch: Optional[str], dtype: Optional[str]):
+    """Build the preset's MoE layer; kwargs degrade gracefully on seed code."""
+    from repro.models.moe_layer import MoELayer
+    from repro.models.presets import get_preset
+
+    config = get_preset(preset.replace("_", "-"))
+    kwargs = {}
+    if dispatch is not None:
+        kwargs["dispatch"] = dispatch
+    try:
+        from repro.autograd import default_dtype
+    except ImportError:  # seed checkout: float64 engine only
+        default_dtype = None
+    rng = np.random.default_rng(0)
+
+    def build():
+        try:
+            return MoELayer(d_model=config.d_model, d_ff=config.d_ff,
+                            num_experts=config.experts_per_layer()[0],
+                            top_k=config.top_k, rng=rng, **kwargs)
+        except TypeError:  # seed checkout: no dispatch kwarg
+            return MoELayer(d_model=config.d_model, d_ff=config.d_ff,
+                            num_experts=config.experts_per_layer()[0],
+                            top_k=config.top_k, rng=rng)
+
+    if default_dtype is not None and dtype is not None:
+        with default_dtype(dtype):
+            return build()
+    return build()
+
+
+def _make_model(preset: str, dispatch: Optional[str], dtype: Optional[str]):
+    from repro.models import MoETransformer
+    from repro.models.presets import get_preset
+
+    kwargs = {}
+    if dispatch is not None and dtype is not None:
+        try:
+            config = get_preset(preset.replace("_", "-"), dtype=dtype, dispatch=dispatch)
+            return MoETransformer(config)
+        except TypeError:
+            pass  # seed checkout: no dtype/dispatch knobs
+    return MoETransformer(get_preset(preset.replace("_", "-")))
+
+
+def build_hot_loop(preset: str, dispatch: Optional[str], dtype: Optional[str],
+                   tokens: int) -> Dict:
+    """Phase closures for the MoE hot-loop microbenchmark of one config."""
+    from repro.autograd import Adam, Tensor
+
+    layer = _make_layer(preset, dispatch, dtype)
+    np_dtype = dtype or "float64"
+    # Sequences of 32 tokens: tiny_moe's own max_seq_len, so the
+    # microbenchmark drives the layer with shapes the preset actually sees.
+    batch = max(tokens // 32, 1)
+    x = np.random.default_rng(1).standard_normal(
+        (batch, tokens // batch, layer.d_model)).astype(np_dtype)
+    attention = np.random.default_rng(2).random((batch, tokens // batch))
+    sample_ids = np.arange(batch)
+    optimizer = Adam(list(layer.parameters()), lr=1e-8)
+
+    # Precomputed output gradient: backward from the layer output directly
+    # instead of through a reduction node, so the measurement isolates the
+    # dispatch hot loop rather than the benchmark driver.
+    grad_ones = np.ones(x.shape, dtype=np_dtype)
+
+    def forward():
+        layer(Tensor(x), token_attention=attention, sample_ids=sample_ids)
+
+    def forward_backward():
+        out = layer(Tensor(x, requires_grad=True),
+                    token_attention=attention, sample_ids=sample_ids)
+        out.backward(grad_ones)
+        optimizer.zero_grad()
+
+    def round_step():
+        out = layer(Tensor(x, requires_grad=True),
+                    token_attention=attention, sample_ids=sample_ids)
+        out.backward(grad_ones)
+        optimizer.step()
+        optimizer.zero_grad()
+
+    return {"forward": forward, "forward_backward": forward_backward, "round": round_step}
+
+
+def build_end_to_end(preset: str, dispatch: Optional[str], dtype: Optional[str],
+                     tokens: int) -> Dict:
+    """Phase closures for the full-model training-round benchmark."""
+    from repro.autograd import Adam
+
+    model = _make_model(preset, dispatch, dtype)
+    seq_len = min(32, model.config.max_seq_len)
+    batch = max(tokens // seq_len, 1)
+    ids = np.random.default_rng(0).integers(0, model.config.vocab_size, size=(batch, seq_len))
+    sample_ids = np.arange(batch)
+    optimizer = Adam(list(model.parameters()), lr=1e-8)
+
+    def round_step():
+        loss = model.compute_loss(ids, sample_ids=sample_ids)
+        loss.backward()
+        optimizer.step()
+        optimizer.zero_grad()
+
+    return {"round": round_step}
+
+
+def _peak_temporaries(round_fn) -> int:
+    """Peak Python/NumPy heap allocated during one training round (bytes)."""
+    tracemalloc.start()
+    round_fn()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return int(peak)
+
+
+def _hot_loop_result(times: Dict[str, float], tokens: int, round_fn) -> Dict[str, float]:
+    return {
+        "forward_tokens_per_s": tokens / times["forward"],
+        "forward_backward_tokens_per_s": tokens / times["forward_backward"],
+        "round_tokens_per_s": tokens / times["round"],
+        "rounds_per_s": 1.0 / times["round"],
+        "peak_temporaries_bytes": _peak_temporaries(round_fn),
+    }
+
+
+def bench_hot_loop(preset: str, dispatch: Optional[str], dtype: Optional[str],
+                   tokens: int, iters: int, reps: int) -> Dict[str, float]:
+    """MoE layer forward / forward+backward / round throughput (tokens/s)."""
+    phases = build_hot_loop(preset, dispatch, dtype, tokens)
+    times = {name: _best_time(fn, iters, reps) for name, fn in phases.items()}
+    return _hot_loop_result(times, tokens, phases["round"])
+
+
+def bench_end_to_end(preset: str, dispatch: Optional[str], dtype: Optional[str],
+                     tokens: int, iters: int, reps: int) -> Dict[str, float]:
+    """Full-model loss + backward + optimizer step throughput (tokens/s)."""
+    phases = build_end_to_end(preset, dispatch, dtype, tokens)
+    seq_len = 32  # matches build_end_to_end batching
+    actual_tokens = max(tokens // seq_len, 1) * seq_len
+    per_round = _best_time(phases["round"], iters, reps)
+    return {"round_tokens_per_s": actual_tokens / per_round,
+            "rounds_per_s": 1.0 / per_round}
+
+
+def _speedup(configs: Dict[str, Dict[str, float]], key: str) -> Optional[float]:
+    fast = configs.get(FAST_CONFIG, {}).get(key)
+    base = configs.get(BASELINE_CONFIG, {}).get(key)
+    if not fast or not base:
+        return None
+    return fast / base
+
+
+def run_suite(quick: bool) -> Dict:
+    # 1024 tokens = batch 32 × seq 32 (the tiny_moe preset's max_seq_len)
+    tokens = 1024
+    iters = 3 if quick else 10
+    reps = 4 if quick else 6
+    suite: Dict = {}
+    for preset in PRESET_NAMES:
+        e2e_tokens = min(tokens, 1024)
+        hot_builds = {f"{dispatch}/{dtype}": build_hot_loop(preset, dispatch, dtype, tokens)
+                      for dispatch, dtype in CONFIGS}
+        hot_times = _interleaved_best_times(hot_builds, iters, reps)
+        hot_configs = {name: _hot_loop_result(times, tokens, hot_builds[name]["round"])
+                       for name, times in hot_times.items()}
+        e2e_builds = {f"{dispatch}/{dtype}": build_end_to_end(preset, dispatch, dtype, e2e_tokens)
+                      for dispatch, dtype in CONFIGS}
+        e2e_times = _interleaved_best_times(e2e_builds, max(iters // 2, 1), reps)
+        actual_e2e_tokens = max(e2e_tokens // 32, 1) * 32
+        e2e_configs = {name: {"round_tokens_per_s": actual_e2e_tokens / times["round"],
+                              "rounds_per_s": 1.0 / times["round"]}
+                       for name, times in e2e_times.items()}
+        suite[preset] = {
+            "hot_loop": {
+                "tokens": tokens,
+                "configs": hot_configs,
+                "speedup_batched_f32_vs_loop_f64":
+                    _speedup(hot_configs, "forward_backward_tokens_per_s"),
+                "round_speedup_batched_f32_vs_loop_f64":
+                    _speedup(hot_configs, "round_tokens_per_s"),
+            },
+            "end_to_end": {
+                "tokens": min(tokens, 1024),
+                "configs": e2e_configs,
+                "round_speedup_batched_f32_vs_loop_f64":
+                    _speedup(e2e_configs, "round_tokens_per_s"),
+            },
+        }
+    return suite
+
+
+# --------------------------------------------------------------- seed worker
+def _worker(spec_json: str) -> None:
+    """Run one benchmark family in-process and print JSON (seed subprocess)."""
+    spec = json.loads(spec_json)
+    if spec["family"] == "hot_loop":
+        result = bench_hot_loop(spec["preset"], spec.get("dispatch"), spec.get("dtype"),
+                                spec["tokens"], spec["iters"], spec["reps"])
+    else:
+        result = bench_end_to_end(spec["preset"], spec.get("dispatch"), spec.get("dtype"),
+                                  spec["tokens"], spec["iters"], spec["reps"])
+    print(json.dumps(result))
+
+
+def bench_seed_reference(seed_src: str, quick: bool) -> Dict:
+    """Benchmark a pristine seed checkout with the same driver via subprocess.
+
+    Each seed worker run is paired with an adjacent in-process measurement of
+    the batched/float32 fast path, and the recorded speedup is the median of
+    the paired ratios — host-speed drift between distant measurements then
+    cancels out of the headline number.
+    """
+    tokens = 1024
+    iters = 3 if quick else 10
+    reps = 3 if quick else 5
+    rounds = 2 if quick else 15
+    env = dict(os.environ)
+    env["PYTHONPATH"] = seed_src
+    out: Dict = {"src": seed_src, "presets": {}, "speedup_batched_f32_vs_seed": {}}
+    for preset in PRESET_NAMES:
+        preset_result: Dict = {}
+        paired_ratios = []
+        for family, fam_tokens in (("hot_loop", tokens), ("end_to_end", min(tokens, 1024))):
+            spec = {"family": family, "preset": preset, "tokens": fam_tokens,
+                    "iters": iters, "reps": reps}
+            merged: Dict[str, float] = {}
+            for _ in range(rounds):
+                proc = subprocess.run(
+                    [sys.executable, os.path.abspath(__file__), "--worker", json.dumps(spec)],
+                    capture_output=True, text=True, env=env, cwd="/tmp")
+                if proc.returncode != 0:
+                    raise RuntimeError(f"seed worker failed for {preset}/{family}: {proc.stderr}")
+                sample = json.loads(proc.stdout)
+                for key, value in sample.items():
+                    if key.endswith("_per_s"):
+                        merged[key] = max(merged.get(key, 0.0), value)
+                    else:
+                        merged.setdefault(key, value)
+                if family == "hot_loop":
+                    fast = bench_hot_loop(preset, "batched", "float32",
+                                          fam_tokens, iters, reps)
+                    paired_ratios.append(fast["forward_backward_tokens_per_s"]
+                                         / sample["forward_backward_tokens_per_s"])
+            preset_result[family] = merged
+        preset_result["paired_fwd_bwd_ratios"] = [round(r, 3) for r in paired_ratios]
+        out["presets"][preset] = preset_result
+        out["speedup_batched_f32_vs_seed"][preset] = float(np.median(paired_ratios))
+    return out
+
+
+# -------------------------------------------------------------------- check
+def check_regression(current: Dict, baseline_path: str, tolerance: float) -> int:
+    """Compare machine-independent speedups against the committed baseline."""
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    failures = []
+    for preset, families in committed.get("presets", {}).items():
+        for family in ("hot_loop", "end_to_end"):
+            for key in ("speedup_batched_f32_vs_loop_f64",
+                        "round_speedup_batched_f32_vs_loop_f64"):
+                ref = families.get(family, {}).get(key)
+                cur = current.get("presets", {}).get(preset, {}).get(family, {}).get(key)
+                if not ref or not cur:
+                    continue
+                floor = (1.0 - tolerance) * ref
+                status = "OK" if cur >= floor else "REGRESSION"
+                print(f"[{status}] {preset}/{family}/{key}: "
+                      f"current {cur:.2f}x vs committed {ref:.2f}x (floor {floor:.2f}x)")
+                if cur < floor:
+                    failures.append((preset, family, key, cur, ref))
+    if failures:
+        print(f"FAILED: {len(failures)} speedup(s) regressed more than "
+              f"{tolerance:.0%} vs {baseline_path}")
+        return 1
+    print(f"All speedups within {tolerance:.0%} of {baseline_path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller token counts / fewer repetitions (CI smoke)")
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"),
+                        help="where to write the results JSON")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare speedups against a committed baseline JSON; "
+                             "exit 1 on regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative speedup regression for --check")
+    parser.add_argument("--seed-src", metavar="PATH",
+                        help="src/ directory of a pristine seed checkout to "
+                             "benchmark as seed_reference")
+    parser.add_argument("--worker", metavar="SPEC", help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.worker:
+        _worker(args.worker)
+        return 0
+
+    result = {
+        "meta": {
+            "schema": 1,
+            "quick": bool(args.quick),
+            "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "presets": run_suite(args.quick),
+    }
+    if args.seed_src:
+        result["seed_reference"] = bench_seed_reference(args.seed_src, args.quick)
+
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    for preset, families in result["presets"].items():
+        print(f"  {preset}: hot-loop fwd+bwd speedup "
+              f"{families['hot_loop']['speedup_batched_f32_vs_loop_f64']:.2f}x, "
+              f"round {families['hot_loop']['round_speedup_batched_f32_vs_loop_f64']:.2f}x")
+    if args.seed_src:
+        for preset, value in result["seed_reference"]["speedup_batched_f32_vs_seed"].items():
+            print(f"  {preset}: batched/float32 vs seed loop/float64 {value:.2f}x")
+
+    if args.check:
+        return check_regression(result, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,16 +24,38 @@ from .nn import (
     Sequential,
 )
 from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
-from .tensor import Tensor, concatenate, is_grad_enabled, no_grad, scatter_rows, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    default_dtype,
+    expand_rows,
+    get_default_dtype,
+    index_add,
+    is_grad_enabled,
+    no_grad,
+    place_rows,
+    scatter_rows,
+    set_default_dtype,
+    stack,
+    take_rows,
+    where,
+)
 
 __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "stack",
     "concatenate",
     "where",
     "scatter_rows",
+    "index_add",
+    "expand_rows",
+    "take_rows",
+    "place_rows",
     "functional",
     "Module",
     "Parameter",

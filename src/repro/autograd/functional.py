@@ -34,7 +34,7 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
         if weight.requires_grad:
             grad = np.zeros_like(weight.data)
             np.add.at(grad, indices.reshape(-1), out.grad.reshape(-1, weight.data.shape[-1]))
-            weight._accumulate(grad)
+            weight._accumulate(grad, owned=True)
 
     out._backward = _backward
     return out
@@ -73,7 +73,7 @@ def cross_entropy(
     log_probs = flat_logits.log_softmax(axis=-1)
     rows = np.arange(flat_targets.shape[0])
     picked = log_probs[rows, safe_targets]
-    losses = -picked * Tensor(mask.astype(np.float64))
+    losses = -picked * Tensor(mask.astype(log_probs.data.dtype))
 
     if reduction == "none":
         return losses
@@ -104,7 +104,7 @@ def dropout(x: Tensor, p: float, training: bool, rng: Optional[np.random.Generat
     if not training or p <= 0.0:
         return x
     rng = rng or np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    mask = (rng.random(x.shape) >= p).astype(x.data.dtype) / (1.0 - p)
     return x * Tensor(mask)
 
 

@@ -1,4 +1,11 @@
-"""Parameter initialisation helpers."""
+"""Parameter initialisation helpers.
+
+Every helper honours the tensor engine's default dtype (see
+:func:`repro.autograd.set_default_dtype`).  Random draws always happen in
+float64 and are cast afterwards, so a seeded model built under float32 has
+bit-identically-rounded parameters of the float64 model built from the same
+seed — the property the dispatch/dtype equivalence tests rely on.
+"""
 
 from __future__ import annotations
 
@@ -6,36 +13,44 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .tensor import get_default_dtype
 
-def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+
+def _cast(values: np.ndarray, dtype) -> np.ndarray:
+    return values.astype(dtype or get_default_dtype(), copy=False)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+                    dtype=None) -> np.ndarray:
     """Kaiming/He uniform initialisation keyed on fan-in (the last dimension)."""
     rng = rng or np.random.default_rng()
     fan_in = shape[-1] if len(shape) > 1 else shape[0]
     bound = np.sqrt(6.0 / max(fan_in, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
-def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None) -> np.ndarray:
+def xavier_uniform(shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None,
+                   dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform initialisation using fan-in + fan-out."""
     rng = rng or np.random.default_rng()
     fan_in = shape[-1]
     fan_out = shape[0]
     bound = np.sqrt(6.0 / max(fan_in + fan_out, 1))
-    return rng.uniform(-bound, bound, size=shape)
+    return _cast(rng.uniform(-bound, bound, size=shape), dtype)
 
 
 def normal_(shape: Tuple[int, ...], mean: float = 0.0, std: float = 0.02,
-            rng: Optional[np.random.Generator] = None) -> np.ndarray:
+            rng: Optional[np.random.Generator] = None, dtype=None) -> np.ndarray:
     """Gaussian initialisation with the given mean and standard deviation."""
     rng = rng or np.random.default_rng()
-    return rng.normal(mean, std, size=shape)
+    return _cast(rng.normal(mean, std, size=shape), dtype)
 
 
-def zeros_(shape) -> np.ndarray:
+def zeros_(shape, dtype=None) -> np.ndarray:
     """All-zeros initialisation."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=dtype or get_default_dtype())
 
 
-def ones_(shape) -> np.ndarray:
+def ones_(shape, dtype=None) -> np.ndarray:
     """All-ones initialisation."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=dtype or get_default_dtype())

@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 import numpy as np
 
 from . import functional as F
-from .init import kaiming_uniform, normal_, zeros_
+from .init import kaiming_uniform, normal_, ones_, zeros_
 from .tensor import Tensor
 
 
@@ -146,7 +146,7 @@ class Linear(Module):
         self.out_features = out_features
         rng = rng or np.random.default_rng()
         self.weight = Parameter(kaiming_uniform((out_features, in_features), rng=rng))
-        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self.bias = Parameter(zeros_(out_features)) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
         return F.linear(x, self.weight, self.bias)
@@ -177,7 +177,7 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.weight = Parameter(np.ones(dim))
+        self.weight = Parameter(ones_(dim))
         self.bias = Parameter(zeros_(dim))
 
     def forward(self, x: Tensor) -> Tensor:
@@ -191,7 +191,7 @@ class RMSNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.weight = Parameter(np.ones(dim))
+        self.weight = Parameter(ones_(dim))
 
     def forward(self, x: Tensor) -> Tensor:
         return F.rms_norm(x, self.weight, eps=self.eps)

@@ -5,6 +5,11 @@ Each optimiser owns a list of parameters and implements ``step()`` /
 ``requires_grad`` flag is ``False`` or whose gradient is ``None`` are skipped,
 which is how the federated clients implement expert-only / frozen-expert
 updates.
+
+``step()`` is fused: every update runs through ``np.multiply``/``np.add``
+with ``out=`` into per-parameter scratch buffers, so a step allocates no
+per-step temporaries after the first call.  The arithmetic evaluation order
+matches the original out-of-place formulas, so results are bit-identical.
 """
 
 from __future__ import annotations
@@ -23,6 +28,16 @@ class Optimizer:
         self.params: List[Parameter] = list(params)
         if not self.params:
             raise ValueError("optimizer received an empty parameter list")
+        self._scratch: Dict[int, np.ndarray] = {}
+
+    def _buf(self, param: Parameter, slot: int = 0) -> np.ndarray:
+        """Per-parameter scratch array reused across steps (no per-step allocs)."""
+        key = id(param) * 4 + slot
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape != param.data.shape or buf.dtype != param.data.dtype:
+            buf = np.empty_like(param.data)
+            self._scratch[key] = buf
+        return buf
 
     def zero_grad(self) -> None:
         for param in self.params:
@@ -50,16 +65,21 @@ class SGD(Optimizer):
             if not param.requires_grad or param.grad is None:
                 continue
             grad = param.grad
+            scratch = self._buf(param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=scratch)
+                np.add(scratch, grad, out=scratch)
+                grad = scratch
             if self.momentum:
                 buf = self._velocity.get(id(param))
                 if buf is None:
                     buf = np.zeros_like(param.data)
-                buf = self.momentum * buf + grad
-                self._velocity[id(param)] = buf
+                    self._velocity[id(param)] = buf
+                np.multiply(buf, self.momentum, out=buf)
+                np.add(buf, grad, out=buf)
                 grad = buf
-            param.data -= self.lr * grad
+            np.multiply(grad, self.lr, out=scratch)
+            param.data -= scratch
 
 
 class Adam(Optimizer):
@@ -80,24 +100,42 @@ class Adam(Optimizer):
 
     def step(self) -> None:
         self._t += 1
+        bias1 = 1 - self.beta1 ** self._t
+        bias2 = 1 - self.beta2 ** self._t
         for param in self.params:
             if not param.requires_grad or param.grad is None:
                 continue
             grad = param.grad
+            s1 = self._buf(param, 0)
+            s2 = self._buf(param, 1)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=s1)
+                np.add(s1, grad, out=s1)
+                grad = s1
             m = self._m.get(id(param))
             v = self._v.get(id(param))
             if m is None:
                 m = np.zeros_like(param.data)
                 v = np.zeros_like(param.data)
-            m = self.beta1 * m + (1 - self.beta1) * grad
-            v = self.beta2 * v + (1 - self.beta2) * grad ** 2
-            self._m[id(param)] = m
-            self._v[id(param)] = v
-            m_hat = m / (1 - self.beta1 ** self._t)
-            v_hat = v / (1 - self.beta2 ** self._t)
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                self._m[id(param)] = m
+                self._v[id(param)] = v
+            # m = beta1 * m + (1 - beta1) * grad
+            np.multiply(m, self.beta1, out=m)
+            np.multiply(grad, 1 - self.beta1, out=s2)
+            np.add(m, s2, out=m)
+            # v = beta2 * v + (1 - beta2) * grad**2
+            np.multiply(v, self.beta2, out=v)
+            np.multiply(grad, grad, out=s2)
+            np.multiply(s2, 1 - self.beta2, out=s2)
+            np.add(v, s2, out=v)
+            # param -= lr * m_hat / (sqrt(v_hat) + eps)
+            np.divide(m, bias1, out=s1)
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            np.add(s2, self.eps, out=s2)
+            np.multiply(s1, self.lr, out=s1)
+            np.divide(s1, s2, out=s1)
+            param.data -= s1
 
 
 class AdamW(Adam):
@@ -107,7 +145,9 @@ class AdamW(Adam):
         if self.weight_decay:
             for param in self.params:
                 if param.requires_grad and param.grad is not None:
-                    param.data -= self.lr * self.weight_decay * param.data
+                    scratch = self._buf(param)
+                    np.multiply(param.data, self.lr * self.weight_decay, out=scratch)
+                    param.data -= scratch
         decay, self.weight_decay = self.weight_decay, 0.0
         try:
             super().step()

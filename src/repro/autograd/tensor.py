@@ -26,6 +26,54 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
 
+_default_dtype: np.dtype = np.dtype(np.float64)
+
+#: dtypes the tensor engine may be switched to
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the dtype new tensors are created with (when not inferable)."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the global default floating dtype of the tensor engine.
+
+    ``float64`` (the historical default) is best for numerics tests;
+    ``float32`` halves memory traffic and roughly doubles GEMM throughput,
+    and is what the perf harness and training benchmarks use.
+    """
+    dtype = np.dtype(dtype)
+    if dtype not in SUPPORTED_DTYPES:
+        raise ValueError(f"unsupported default dtype {dtype}; supported: float32, float64")
+    global _default_dtype
+    _default_dtype = dtype
+
+
+class default_dtype:
+    """Context manager that temporarily switches the default dtype.
+
+    Models built inside ``with default_dtype("float32"):`` have float32
+    parameters, and every downstream op preserves that dtype (floating-point
+    array inputs are never silently up- or down-cast).
+    """
+
+    def __init__(self, dtype) -> None:
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in SUPPORTED_DTYPES:
+            raise ValueError(f"unsupported default dtype {self._dtype}; supported: float32, float64")
+
+    def __enter__(self) -> "default_dtype":
+        global _default_dtype
+        self._prev = _default_dtype
+        _default_dtype = self._dtype
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _default_dtype
+        _default_dtype = self._prev
+
 
 class no_grad:
     """Context manager that disables gradient recording.
@@ -51,7 +99,20 @@ def is_grad_enabled() -> bool:
     return _grad_enabled
 
 
-def _as_array(data: ArrayLike, dtype=np.float64) -> np.ndarray:
+def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``data`` to a floating NumPy array.
+
+    Floating-point arrays keep their dtype (so a float32 model stays float32
+    end-to-end); everything else is converted to ``dtype`` or, when that is
+    ``None``, to the global default dtype (see :func:`set_default_dtype`).
+    """
+    if dtype is None:
+        if isinstance(data, np.ndarray) and data.dtype.kind == "f":
+            return data
+        if isinstance(data, np.generic) and data.dtype.kind == "f":
+            # NumPy scalar (e.g. the result of ndarray.sum()) — keep its dtype.
+            return np.asarray(data)
+        dtype = _default_dtype
     if isinstance(data, np.ndarray):
         if data.dtype == dtype:
             return data
@@ -149,12 +210,25 @@ class Tensor:
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` to this tensor's gradient.
+
+        ``owned=True`` asserts that ``grad`` is a freshly-allocated array no
+        other tensor holds a reference to, letting the first contribution be
+        adopted without a defensive copy.  Arrays that may alias another
+        tensor's gradient (e.g. an unreduced ``out.grad`` passed through, or a
+        view of it) must keep ``owned=False``.
+        """
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data)
-        self.grad += grad
+            if owned and isinstance(grad, np.ndarray) and grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                # First contribution: one copy instead of zeros_like + add.
+                self.grad = np.array(grad, dtype=self.data.dtype)
+        else:
+            self.grad += grad
 
     # --------------------------------------------------------------- backward
     def backward(self, grad: Optional[ArrayLike] = None) -> None:
@@ -198,28 +272,47 @@ class Tensor:
 
     # ----------------------------------------------------------- constructors
     @staticmethod
-    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype or _default_dtype), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(*shape: int, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype or _default_dtype), requires_grad=requires_grad)
 
     @staticmethod
-    def randn(*shape: int, requires_grad: bool = False, rng: Optional[np.random.Generator] = None) -> "Tensor":
+    def randn(*shape: int, requires_grad: bool = False, rng: Optional[np.random.Generator] = None,
+              dtype=None) -> "Tensor":
         rng = rng or np.random.default_rng()
-        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+        # Always draw in float64 and cast so that the random stream (and hence
+        # seeded model initialisation) is identical across dtypes.
+        values = rng.standard_normal(shape).astype(dtype or _default_dtype, copy=False)
+        return Tensor(values, requires_grad=requires_grad)
 
     # ------------------------------------------------------------- arithmetic
+    def _wrap_operand(self, other: ArrayLike) -> "Tensor":
+        """Coerce a binary-op operand to a Tensor.
+
+        Python scalars (and other non-float data) adopt *this* tensor's dtype
+        so that e.g. ``float32_tensor * 2.0`` stays float32 instead of being
+        promoted through a float64 wrapper array.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, np.ndarray) and other.dtype.kind == "f":
+            return Tensor(other)
+        return Tensor(np.asarray(other, dtype=self.data.dtype))
+
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._wrap_operand(other)
         out = self._make_child(self.data + other.data, (self, other))
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad, self.shape))
+                grad = _unbroadcast(out.grad, self.shape)
+                self._accumulate(grad, owned=grad is not out.grad)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(out.grad, other.shape))
+                grad = _unbroadcast(out.grad, other.shape)
+                other._accumulate(grad, owned=grad is not out.grad)
 
         out._backward = _backward
         return out
@@ -231,27 +324,26 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(-out.grad)
+                self._accumulate(-out.grad, owned=True)
 
         out._backward = _backward
         return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
-        return self + (-other)
+        return self + (-self._wrap_operand(other))
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) + (-self)
+        return self._wrap_operand(other) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._wrap_operand(other)
         out = self._make_child(self.data * other.data, (self, other))
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape), owned=True)
             if other.requires_grad:
-                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape), owned=True)
 
         out._backward = _backward
         return out
@@ -259,35 +351,57 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._wrap_operand(other)
         out = self._make_child(self.data / other.data, (self, other))
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(out.grad / other.data, self.shape))
+                self._accumulate(_unbroadcast(out.grad / other.data, self.shape), owned=True)
             if other.requires_grad:
                 other._accumulate(
-                    _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape)
+                    _unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape),
+                    owned=True,
                 )
 
         out._backward = _backward
         return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) / self
+        return self._wrap_operand(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
+        # np.power is an elementwise transcendental and dominates small-model
+        # profiles (rms_norm calls ** 0.5 on every block); route the common
+        # exponents through their dedicated, much cheaper ufuncs.
+        if exponent == 0.5:
+            out = self._make_child(np.sqrt(self.data), (self,))
+
+            def _backward_sqrt() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * 0.5 / out.data, owned=True)
+
+            out._backward = _backward_sqrt
+            return out
+        if exponent == 2:
+            out = self._make_child(np.square(self.data), (self,))
+
+            def _backward_square() -> None:
+                if self.requires_grad:
+                    self._accumulate(out.grad * 2.0 * self.data, owned=True)
+
+            out._backward = _backward_square
+            return out
         out = self._make_child(self.data ** exponent, (self,))
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1), owned=True)
 
         out._backward = _backward
         return out
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._wrap_operand(other)
         out = self._make_child(self.data @ other.data, (self, other))
 
         def _backward() -> None:
@@ -296,13 +410,13 @@ class Tensor:
                     grad_self = out.grad @ np.swapaxes(other.data, -1, -2)
                 else:
                     grad_self = np.outer(out.grad, other.data) if self.data.ndim > 1 else out.grad * other.data
-                self._accumulate(_unbroadcast(grad_self, self.shape))
+                self._accumulate(_unbroadcast(grad_self, self.shape), owned=True)
             if other.requires_grad:
                 if self.data.ndim >= 2:
                     grad_other = np.swapaxes(self.data, -1, -2) @ out.grad
                 else:
                     grad_other = np.outer(self.data, out.grad) if other.data.ndim > 1 else self.data * out.grad
-                other._accumulate(_unbroadcast(grad_other, other.shape))
+                other._accumulate(_unbroadcast(grad_other, other.shape), owned=True)
 
         out._backward = _backward
         return out
@@ -322,7 +436,7 @@ class Tensor:
                 for a in sorted(axes):
                     shape.insert(a, 1)
                 grad = grad.reshape(shape)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+            self._accumulate(np.broadcast_to(grad, self.shape).copy(), owned=True)
 
         out._backward = _backward
         return out
@@ -353,7 +467,7 @@ class Tensor:
                 for a in sorted(axes):
                     shape.insert(a, 1)
                 grad = grad.reshape(shape)
-            self._accumulate(mask * grad)
+            self._accumulate(mask * grad, owned=True)
 
         out._backward = _backward
         return out
@@ -364,7 +478,7 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad * out.data)
+                self._accumulate(out.grad * out.data, owned=True)
 
         out._backward = _backward
         return out
@@ -374,7 +488,7 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad / self.data)
+                self._accumulate(out.grad / self.data, owned=True)
 
         out._backward = _backward
         return out
@@ -387,7 +501,7 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad * (1.0 - out.data ** 2))
+                self._accumulate(out.grad * (1.0 - out.data ** 2), owned=True)
 
         out._backward = _backward
         return out
@@ -398,7 +512,7 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad * out.data * (1.0 - out.data))
+                self._accumulate(out.grad * out.data * (1.0 - out.data), owned=True)
 
         out._backward = _backward
         return out
@@ -408,7 +522,7 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad * (self.data > 0))
+                self._accumulate(out.grad * (self.data > 0), owned=True)
 
         out._backward = _backward
         return out
@@ -420,7 +534,7 @@ class Tensor:
 
         def _backward() -> None:
             if self.requires_grad:
-                self._accumulate(out.grad * (sig * (1.0 + self.data * (1.0 - sig))))
+                self._accumulate(out.grad * (sig * (1.0 + self.data * (1.0 - sig))), owned=True)
 
         out._backward = _backward
         return out
@@ -437,7 +551,7 @@ class Tensor:
             if self.requires_grad:
                 d_inner = c * (1.0 + 3 * 0.044715 * self.data ** 2)
                 deriv = 0.5 * (1.0 + tanh_inner) + 0.5 * self.data * (1.0 - tanh_inner ** 2) * d_inner
-                self._accumulate(out.grad * deriv)
+                self._accumulate(out.grad * deriv, owned=True)
 
         out._backward = _backward
         return out
@@ -485,7 +599,7 @@ class Tensor:
             if self.requires_grad:
                 grad = np.zeros_like(self.data)
                 np.add.at(grad, index, out.grad)
-                self._accumulate(grad)
+                self._accumulate(grad, owned=True)
 
         out._backward = _backward
         return out
@@ -501,7 +615,7 @@ class Tensor:
             if self.requires_grad:
                 s = out.data
                 dot = (out.grad * s).sum(axis=axis, keepdims=True)
-                self._accumulate(s * (out.grad - dot))
+                self._accumulate(s * (out.grad - dot), owned=True)
 
         out._backward = _backward
         return out
@@ -516,7 +630,7 @@ class Tensor:
             if self.requires_grad:
                 softmax = np.exp(out.data)
                 grad_sum = out.grad.sum(axis=axis, keepdims=True)
-                self._accumulate(out.grad - softmax * grad_sum)
+                self._accumulate(out.grad - softmax * grad_sum, owned=True)
 
         out._backward = _backward
         return out
@@ -576,7 +690,107 @@ def scatter_rows(src: Tensor, rows: np.ndarray, num_rows: int) -> Tensor:
 
     def _backward() -> None:
         if src.requires_grad:
-            src._accumulate(out.grad[rows])
+            src._accumulate(out.grad[rows], owned=True)
+
+    out._backward = _backward
+    return out
+
+
+def expand_rows(src: Tensor, repeats: int) -> Tensor:
+    """Repeat every row of ``src`` ``repeats`` times: ``out[i] = src[i // repeats]``.
+
+    The backward pass is a reshape + sum over the repeat axis — no scatter —
+    which makes this the cheap way to expand ``(tokens, d)`` hidden states to
+    ``(tokens * top_k, d)`` per-assignment rows in the batched MoE dispatch.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    data = np.repeat(src.data, repeats, axis=0)
+    requires = _grad_enabled and src.requires_grad
+    out = Tensor(data, requires_grad=requires, _prev=(src,) if requires else ())
+
+    def _backward() -> None:
+        if src.requires_grad:
+            shape = (src.data.shape[0], repeats) + src.data.shape[1:]
+            src._accumulate(out.grad.reshape(shape).sum(axis=1), owned=True)
+
+    out._backward = _backward
+    return out
+
+
+def take_rows(src: Tensor, rows: np.ndarray) -> Tensor:
+    """Gather ``src[rows]`` where ``rows`` contains **unique** indices.
+
+    Unlike ``src[rows]`` (whose backward must scatter-*add* with ``np.add.at``
+    to handle duplicates), the uniqueness contract lets the backward pass use
+    a plain fancy-index assignment, which is an order of magnitude faster.
+    The caller is responsible for uniqueness; duplicated rows silently drop
+    gradient contributions.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    data = src.data[rows]
+    requires = _grad_enabled and src.requires_grad
+    out = Tensor(data, requires_grad=requires, _prev=(src,) if requires else ())
+
+    def _backward() -> None:
+        if src.requires_grad:
+            grad = np.zeros_like(src.data)
+            grad[rows] = out.grad
+            src._accumulate(grad, owned=True)
+
+    out._backward = _backward
+    return out
+
+
+def place_rows(src: Tensor, rows: np.ndarray, num_rows: int) -> Tensor:
+    """Scatter rows of ``src`` into a zero tensor: ``out[rows[i]] = src[i]``.
+
+    ``rows`` must contain **unique** destinations (this is assignment, not
+    accumulation — see :func:`scatter_rows`/:func:`index_add` for the
+    duplicate-safe variants).  The backward pass is a plain gather.  Used to
+    build the padded per-expert workspace of the batched MoE dispatch.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 1 or rows.shape[0] != src.data.shape[0]:
+        raise ValueError("rows must be a 1-D index array matching src's first dimension")
+    data = np.zeros((num_rows,) + src.data.shape[1:], dtype=src.data.dtype)
+    data[rows] = src.data
+    requires = _grad_enabled and src.requires_grad
+    out = Tensor(data, requires_grad=requires, _prev=(src,) if requires else ())
+
+    def _backward() -> None:
+        if src.requires_grad:
+            src._accumulate(out.grad[rows], owned=True)
+
+    out._backward = _backward
+    return out
+
+
+def index_add(base: Tensor, rows: np.ndarray, src: Tensor) -> Tensor:
+    """Row-wise scatter-add of ``src`` into ``base``: ``out[rows[i]] += src[i]``.
+
+    Unlike :func:`scatter_rows`, which always materialises a fresh zero-filled
+    output, ``index_add`` accumulates **in place** into ``base``'s buffer and
+    returns a tensor sharing it.  ``base`` must therefore be a tensor the
+    caller created for this purpose (e.g. ``Tensor.zeros``) and must not be
+    reused afterwards.  This is the combine primitive of the batched MoE
+    dispatch path: all routed-token outputs are accumulated with a single
+    ``np.add.at`` instead of one full-size temporary per expert.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 1 or rows.shape[0] != src.data.shape[0]:
+        raise ValueError("rows must be a 1-D index array matching src's first dimension")
+    if base.data.shape[1:] != src.data.shape[1:]:
+        raise ValueError("base and src must agree on trailing dimensions")
+    np.add.at(base.data, rows, src.data)
+    requires = _grad_enabled and (base.requires_grad or src.requires_grad)
+    out = Tensor(base.data, requires_grad=requires, _prev=(base, src) if requires else ())
+
+    def _backward() -> None:
+        if base.requires_grad:
+            base._accumulate(out.grad)
+        if src.requires_grad:
+            src._accumulate(out.grad[rows], owned=True)
 
     out._backward = _backward
     return out
@@ -593,9 +807,9 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
     def _backward() -> None:
         if a.requires_grad:
-            a._accumulate(_unbroadcast(out.grad * cond, a.shape))
+            a._accumulate(_unbroadcast(out.grad * cond, a.shape), owned=True)
         if b.requires_grad:
-            b._accumulate(_unbroadcast(out.grad * (~cond), b.shape))
+            b._accumulate(_unbroadcast(out.grad * (~cond), b.shape), owned=True)
 
     out._backward = _backward
     return out

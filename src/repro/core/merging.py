@@ -144,7 +144,8 @@ def plan_compact_model(
         members = non_tuning[layer]
         ids.append(members)
         if members:
-            features.append(np.stack([model.get_expert(layer, e).weight_vector() for e in members]))
+            weight_matrix = model.blocks[layer].moe.expert_weight_matrix()
+            features.append(weight_matrix[np.asarray(members, dtype=np.int64)])
         else:
             features.append(np.zeros((0, 1)))
     clustering = cluster_experts(

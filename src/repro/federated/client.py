@@ -162,9 +162,12 @@ class Participant:
                     attention_mask=batch.attention_mask,
                     sample_ids=batch.sample_ids,
                 )
-                loss.backward()
-                self._accumulate_expert_stats(model, grad_sq, token_counts)
-                optimizer.step()
+                if loss.requires_grad:
+                    loss.backward()
+                    self._accumulate_expert_stats(model, grad_sq, token_counts)
+                    optimizer.step()
+                # else: no routed token touched a trainable expert in this
+                # batch — a legitimate zero-gradient step, not an error.
                 losses.append(loss.item())
                 total_tokens += batch.num_tokens
 

@@ -54,8 +54,8 @@ class MultiHeadSelfAttention(Module):
         if attention_mask is not None:
             key_mask = np.asarray(attention_mask, dtype=bool)[:, None, None, :]
             mask = mask & key_mask
-        neg_inf = np.full(scores.shape, -1e9)
-        scores = Tensor(np.where(mask, 0.0, neg_inf)) + scores
+        neg_inf = np.full(scores.shape, -1e9, dtype=scores.data.dtype)
+        scores = Tensor(np.where(mask, 0.0, neg_inf).astype(scores.data.dtype, copy=False)) + scores
 
         probs = scores.softmax(axis=-1)
 

@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..autograd import Linear, Module, Tensor
+
+#: per-expert weight matrices in stacking order
+EXPERT_WEIGHT_KEYS = ("w_gate", "w_up", "w_down")
+
+
+def stack_expert_weights(experts: Sequence["ExpertFFN"]) -> Dict[str, np.ndarray]:
+    """Stack each weight matrix of ``experts`` into one ``(num_experts, ...)`` array.
+
+    The returned arrays are the canonical "stacked" representation used by the
+    batched MoE dispatch path, clustering features and weighted merging —
+    consumers read slices of these arrays instead of re-stacking flattened
+    per-expert vectors on every call.
+    """
+    experts = list(experts)
+    if not experts:
+        raise ValueError("cannot stack an empty expert list")
+    return {
+        key: np.stack([getattr(expert, key).weight.data for expert in experts])
+        for key in EXPERT_WEIGHT_KEYS
+    }
 
 
 class ExpertFFN(Module):
@@ -78,7 +98,8 @@ class ExpertFFN(Module):
         return super().num_parameters(trainable_only=trainable_only)
 
     @staticmethod
-    def merge(experts, weights, d_model: int, d_ff: int, activation: str = "silu") -> "ExpertFFN":
+    def merge(experts, weights, d_model: int, d_ff: int, activation: str = "silu",
+              stacked: Optional[Dict[str, np.ndarray]] = None) -> "ExpertFFN":
         """Create a new expert whose matrices are the weighted average of ``experts``.
 
         Parameters
@@ -89,6 +110,12 @@ class ExpertFFN(Module):
             Non-negative merge coefficients, one per expert.  They are
             normalised internally so callers may pass raw importance scores
             (activation frequency × attention, per the paper's Eq. 2).
+        stacked:
+            Optional pre-stacked weight arrays (rows of
+            :func:`stack_expert_weights` / slices of
+            :meth:`~repro.models.moe_layer.MoELayer.stacked_expert_weights`)
+            covering ``experts``; when given, the merge reads them directly
+            instead of re-stacking per call.
         """
         experts = list(experts)
         weights = np.asarray(list(weights), dtype=np.float64)
@@ -103,8 +130,19 @@ class ExpertFFN(Module):
             weights = np.ones(len(experts)) / len(experts)
         else:
             weights = weights / total
-        merged = ExpertFFN(d_model, d_ff, activation=activation)
-        for key in ("w_gate", "w_up", "w_down"):
-            stacked = np.stack([getattr(e, key).weight.data for e in experts])
-            getattr(merged, key).weight.data[...] = np.tensordot(weights, stacked, axes=1)
+        if stacked is None:
+            stacked = stack_expert_weights(experts)
+        from ..autograd import default_dtype
+        source_dtype = stacked["w_gate"].dtype
+        if source_dtype.kind == "f":
+            # inherit the members' dtype so merging never upcasts a float32
+            # model's compacted experts back to float64
+            with default_dtype(source_dtype):
+                merged = ExpertFFN(d_model, d_ff, activation=activation)
+        else:
+            merged = ExpertFFN(d_model, d_ff, activation=activation)
+        for key in EXPERT_WEIGHT_KEYS:
+            if stacked[key].shape[0] != len(experts):
+                raise ValueError("stacked weight arrays must cover exactly the merged experts")
+            getattr(merged, key).weight.data[...] = np.tensordot(weights, stacked[key], axes=1)
         return merged

@@ -7,7 +7,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
-from ..autograd import Linear, Module, Tensor
+from ..autograd import Linear, Module, Tensor, is_grad_enabled
 
 
 @dataclass
@@ -97,13 +97,17 @@ class GatingNetwork(Module):
         self._rng = rng or np.random.default_rng()
         self.proj = Linear(d_model, num_experts, bias=False, rng=self._rng)
 
-    def forward(self, x: Tensor):
+    def forward(self, x: Tensor, with_probs: bool = True):
         """Route a batch of token embeddings.
 
         Parameters
         ----------
         x:
             ``(num_tokens, d_model)`` flattened token representations.
+        with_probs:
+            When ``False`` the full softmax distribution is skipped (it is a
+            bookkeeping signal the MoE layer itself never consumes) and the
+            third return value is ``None``.
 
         Returns
         -------
@@ -114,12 +118,51 @@ class GatingNetwork(Module):
         """
         logits = self.proj(x)
         if self.noise_std > 0 and self.training:
-            logits = logits + Tensor(self._rng.normal(0.0, self.noise_std, size=logits.shape))
-        probs = logits.softmax(axis=-1)
-        probs_data = probs.data
-        top_idx = np.argsort(-probs_data, axis=-1)[:, : self.top_k]
-        rows = np.arange(probs_data.shape[0])[:, None]
-        top_probs = probs[rows, top_idx]
-        norm = top_probs.sum(axis=-1, keepdims=True) + 1e-12
-        top_weights = top_probs / norm
+            noise = self._rng.normal(0.0, self.noise_std, size=logits.shape)
+            logits = logits + Tensor(noise.astype(logits.data.dtype, copy=False))
+        logits_data = logits.data
+        num_tokens = logits_data.shape[0]
+        # softmax is strictly monotone per row, so ranking logits ranks probs
+        if self.top_k == 1:
+            top_idx = np.argmax(logits_data, axis=-1)[:, None]
+        elif self.top_k == 2:
+            # two argmax passes beat a full row sort for the common top-2 case
+            rows = np.arange(num_tokens)
+            first = np.argmax(logits_data, axis=-1)
+            masked = logits_data.copy()
+            masked[rows, first] = -np.inf
+            second = np.argmax(masked, axis=-1)
+            top_idx = np.stack([first, second], axis=1)
+        else:
+            top_idx = np.argsort(-logits_data, axis=-1)[:, : self.top_k]
+        if with_probs:
+            # Full distribution is a profiling signal only — graph-free.
+            shifted = logits_data - logits_data.max(axis=-1, keepdims=True)
+            exp = np.exp(shifted)
+            probs_data = exp / exp.sum(axis=-1, keepdims=True)
+        else:
+            probs_data = None
+        # Renormalised top-k probabilities equal a softmax over the selected
+        # logits (the partition function cancels), so the differentiable part
+        # of the gate is a single fused (tokens, top_k) softmax node whose
+        # backward scatter-assigns straight into the logits gradient ((token,
+        # expert) pairs are unique — no scatter-add needed).
+        flat_index = (np.arange(num_tokens)[:, None] * self.num_experts + top_idx).reshape(-1)
+        top_logits = logits_data.reshape(-1)[flat_index].reshape(num_tokens, self.top_k)
+        shifted_top = top_logits - top_logits.max(axis=-1, keepdims=True)
+        np.exp(shifted_top, out=shifted_top)
+        weights_data = shifted_top / shifted_top.sum(axis=-1, keepdims=True)
+        requires = is_grad_enabled() and logits.requires_grad
+        top_weights = Tensor(weights_data, requires_grad=requires,
+                             _prev=(logits,) if requires else ())
+
+        def _backward() -> None:
+            grad_out = top_weights.grad
+            dot = (grad_out * weights_data).sum(axis=-1, keepdims=True)
+            d_top = weights_data * (grad_out - dot)
+            grad = np.zeros_like(logits.data)
+            grad.reshape(-1)[flat_index] = d_top.reshape(-1)
+            logits._accumulate(grad, owned=True)
+
+        top_weights._backward = _backward
         return top_idx, top_weights, probs_data

@@ -10,18 +10,46 @@ shorter than the number of original experts the gate routes over, with an
 :class:`~repro.models.rerouting.ExpertRemap` translating original ids to local
 slots (tuning experts preserved 1:1, non-tuning experts collapsed onto merged
 experts).
+
+Dispatch modes
+--------------
+``dispatch="batched"`` (the default) stacks the weights of the experts that
+received tokens into ``(num_active, d_model, d_ff)`` arrays and executes every
+routed token in one fused grouped-GEMM graph node: token-slot assignments are
+argsorted by expert slot, placed (unique destinations — assignment, never
+scatter-add) into a ``(num_active, max_tokens, d_model)`` padded workspace,
+pushed through the SwiGLU GEMMs (gate+up concatenated into a single grouped
+matmul), gathered back per assignment and combined over the top-k axis with a
+one-pass einsum; the hand-written backward reuses persistent per-layer
+scratch buffers.  The autograd graph has O(1) nodes per layer instead of
+O(num_experts), and no per-expert full-size temporaries are created.
+(:func:`~repro.autograd.index_add` / ``take_rows`` / ``place_rows`` /
+``expand_rows`` are the composable building blocks of this layout, kept as
+public autograd ops.)
+
+``dispatch="loop"`` keeps the legacy per-expert Python loop (one gather, FFN
+call and ``scatter_rows`` per expert).  Both paths are numerically equivalent
+— bit-identical combine ordering by construction — and the equivalence is
+test-enforced; the layer silently falls back to the loop when the expert list
+cannot be batched (e.g. LoRA-wrapped or shape-heterogeneous experts).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Module, ModuleList, Tensor, scatter_rows
-from .experts import ExpertFFN
+from ..autograd import Module, ModuleList, Tensor, is_grad_enabled, scatter_rows
+from .experts import ExpertFFN, stack_expert_weights
 from .gating import GatingNetwork, RoutingRecord
 from .rerouting import ExpertRemap
+
+#: dispatch strategies understood by :class:`MoELayer`
+DISPATCH_MODES = ("batched", "loop")
+
+#: activations the batched dispatch path can evaluate on stacked tensors
+_BATCHABLE_ACTIVATIONS = ("silu", "gelu", "relu")
 
 
 class MoELayer(Module):
@@ -37,14 +65,19 @@ class MoELayer(Module):
         activation: str = "silu",
         gate_noise_std: float = 0.0,
         rng: Optional[np.random.Generator] = None,
+        dispatch: str = "batched",
     ) -> None:
         super().__init__()
         rng = rng or np.random.default_rng()
+        if dispatch not in DISPATCH_MODES:
+            raise ValueError(f"unknown dispatch mode {dispatch!r}; supported: {DISPATCH_MODES}")
         self.d_model = d_model
         self.d_ff = d_ff
         self.num_original_experts = num_experts
         self.top_k = top_k
         self.activation = activation
+        #: expert execution strategy, ``"batched"`` or ``"loop"``
+        self.dispatch = dispatch
         self.gate = GatingNetwork(d_model, num_experts, top_k, noise_std=gate_noise_std, rng=rng)
         self.experts = ModuleList([
             ExpertFFN(d_model, d_ff, activation=activation, rng=rng) for _ in range(num_experts)
@@ -58,6 +91,11 @@ class MoELayer(Module):
         #: when True, routing statistics are accumulated across forward passes
         self.accumulate_routing: bool = False
         self._accumulated: Optional[RoutingRecord] = None
+        # Persistent backward-pass scratch buffers of the fused batched
+        # dispatch (backward-internal temporaries only — never tensors a
+        # graph node retains), reused across steps to avoid re-faulting
+        # freshly-mmapped pages every iteration.
+        self._bwd_scratch: Dict[str, np.ndarray] = {}
 
     # ---------------------------------------------------------------- config
     @property
@@ -115,24 +153,43 @@ class MoELayer(Module):
         num_tokens = batch * seq_len
         flat = x.reshape(num_tokens, d_model)
 
-        top_idx, top_weights, probs = self.gate(flat)
-        local_idx = self.remap.apply(top_idx)
+        top_idx, top_weights, _ = self.gate(flat, with_probs=False)
+        if self.remap.is_identity():
+            local_idx = top_idx
+        else:
+            local_idx = self.remap.apply(top_idx)
 
-        record = RoutingRecord.empty(self.num_original_experts)
-        if token_mask is None:
-            flat_mask = np.ones(num_tokens, dtype=bool)
+        if self.dispatch == "batched" and self._can_batch():
+            combined = self._combine_batched(flat, local_idx, top_weights, num_tokens, d_model)
         else:
-            flat_mask = np.asarray(token_mask, dtype=bool).reshape(num_tokens)
-        if token_attention is None:
-            flat_attention = np.zeros(num_tokens, dtype=np.float64)
-        else:
-            flat_attention = np.asarray(token_attention, dtype=np.float64).reshape(num_tokens)
-        if sample_ids is not None:
-            flat_samples = np.repeat(np.asarray(sample_ids, dtype=np.int64), seq_len)
-        else:
-            flat_samples = None
+            combined = self._combine_loop(flat, local_idx, top_weights, num_tokens, d_model)
 
-        combined = Tensor(np.zeros((num_tokens, d_model)))
+        self._record_routing(top_idx, top_weights, num_tokens, seq_len,
+                             token_attention, sample_ids, token_mask)
+
+        out = combined
+        for shared in self.shared_experts:
+            out = out + shared(flat)
+        return out.reshape(batch, seq_len, d_model)
+
+    # ------------------------------------------------------ expert execution
+    def _can_batch(self) -> bool:
+        """Whether every local expert fits the grouped-GEMM fast path."""
+        for expert in self.experts:
+            if type(expert) is not ExpertFFN:
+                return False
+            if expert.activation not in _BATCHABLE_ACTIVATIONS:
+                return False
+            if expert.w_gate.weight.shape != (expert.d_ff, expert.d_model):
+                return False
+            if (expert.d_model, expert.d_ff) != (self.experts[0].d_model, self.experts[0].d_ff):
+                return False
+        return True
+
+    def _combine_loop(self, flat: Tensor, local_idx: np.ndarray, top_weights: Tensor,
+                      num_tokens: int, d_model: int) -> Tensor:
+        """Legacy per-expert dispatch: one gather/FFN/scatter per active expert."""
+        combined = Tensor(np.zeros((num_tokens, d_model), dtype=flat.data.dtype))
         for slot in np.unique(local_idx):
             slot_mask = local_idx == slot  # (num_tokens, top_k)
             token_rows, k_positions = np.nonzero(slot_mask)
@@ -144,30 +201,295 @@ class MoELayer(Module):
             weights = top_weights[token_rows, k_positions].reshape(-1, 1)
             weighted = expert_out * weights
             combined = combined + scatter_rows(weighted, token_rows, num_tokens)
+        return combined
 
-        # Routing statistics are kept in original-expert coordinates.
-        for k in range(self.top_k):
-            idx_k = top_idx[:, k]
-            valid = flat_mask
-            np.add.at(record.token_counts, idx_k[valid], 1)
-            np.add.at(record.attention_sums, idx_k[valid], flat_attention[valid])
-            np.add.at(record.gate_weight_sums, idx_k[valid], top_weights.data[valid, k])
-            if flat_samples is not None:
-                for expert_id, sample in zip(idx_k[valid], flat_samples[valid]):
-                    record.sample_ids[int(expert_id)].add(int(sample))
-        record.total_tokens = int(flat_mask.sum())
+    def _combine_batched(self, flat: Tensor, local_idx: np.ndarray, top_weights: Tensor,
+                         num_tokens: int, d_model: int) -> Tensor:
+        """Grouped dispatch: sort assignments by slot, run one batched GEMM chain.
+
+        Only the experts that actually received tokens are stacked, so
+        gradients reach exactly the same parameters as the loop path, and
+        compute scales with the number of *active* experts.  Every
+        gather/scatter uses unique indices (plain fancy indexing, no
+        ``np.add.at``), and the top-k combine is a reshape + sum — the whole
+        layer forward/backward is O(1) autograd nodes and C-speed throughout.
+        """
+        top_k = local_idx.shape[1]
+        num_assign = local_idx.size
+        if num_assign == 0:
+            return Tensor(np.zeros((num_tokens, d_model), dtype=flat.data.dtype))
+        slots = local_idx.reshape(-1)                      # (A,) assignment → slot
+        # Stable integer argsort uses radix internally; a uint8 key makes it a
+        # single-pass radix instead of eight passes over int64.
+        sort_key = slots.astype(np.uint8) if len(self.experts) <= 256 else slots
+        order = np.argsort(sort_key, kind="stable")        # slot-major, token-minor
+        sorted_slots = slots[order]
+
+        # Segment boundaries from the already-sorted slots (no second sort).
+        seg_start = np.concatenate(([0], np.flatnonzero(np.diff(sorted_slots)) + 1))
+        active = sorted_slots[seg_start]
+        seg_counts = np.diff(np.concatenate((seg_start, [num_assign])))
+        num_active = int(active.size)
+        max_count = int(seg_counts.max())
+        seg_id = np.repeat(np.arange(num_active), seg_counts)
+        padded_pos = seg_id * max_count + (np.arange(num_assign) - seg_start[seg_id])
+        # destination of assignment a (original order) in the padded workspace;
+        # a bijection, so placement/gather need no scatter-add
+        dest = np.empty(num_assign, dtype=np.int64)
+        dest[order] = padded_pos
+
+        experts = [self.experts[int(slot)] for slot in active]
+        activation = experts[0].activation
+        d_ff = experts[0].d_ff
+        gate_params = [e.w_gate.weight for e in experts]
+        up_params = [e.w_up.weight for e in experts]
+        down_params = [e.w_down.weight for e in experts]
+        # Stacked (E_a, d_model, *) operand views of the expert weights; gate
+        # and up projections are concatenated along d_ff so the input side of
+        # the SwiGLU runs as ONE grouped GEMM instead of two.
+        w_gateup_t = np.concatenate(
+            [np.stack([p.data for p in gate_params]),
+             np.stack([p.data for p in up_params])], axis=1).swapaxes(1, 2)  # (E_a, d, 2f)
+        w_gate_t = w_gateup_t[:, :, :d_ff]
+        w_up_t = w_gateup_t[:, :, d_ff:]
+        w_down_t = np.stack([p.data for p in down_params]).swapaxes(1, 2)
+
+        dtype = flat.data.dtype
+        padded_rows = num_active * max_count
+
+        # ---- fused forward: pad → grouped SwiGLU GEMMs → gather → combine
+        # The padded workspace is transient (consumed by the GEMMs within
+        # this call) and cheap to rebuild, so it lives in reusable scratch
+        # and the backward pass recomputes it instead of retaining it.
+        def build_padded(buffer_name: str, zero_padding: bool) -> np.ndarray:
+            padded = self._scratch(buffer_name, (padded_rows, d_model), dtype)
+            if zero_padding:
+                padded.fill(0.0)
+            for column in range(top_k):
+                padded[dest[column::top_k]] = flat.data
+            return padded.reshape(num_active, max_count, d_model)
+
+        # forward padding rows must be zero (they flow through the
+        # activations); the backward rebuild may leave them stale because
+        # every padding row meets an exactly-zero gradient row in the
+        # weight-gradient GEMM
+        padded3 = build_padded("fwd_padded", zero_padding=True)
+        gate_up = padded3 @ w_gateup_t                                      # (E_a, C, 2f)
+        gate_pre = gate_up[:, :, :d_ff]
+        up = gate_up[:, :, d_ff:]
+        if activation == "silu":
+            # sig = 1 / (1 + exp(-gate_pre)), computed in one buffer
+            sig = np.negative(gate_pre)
+            np.exp(sig, out=sig)
+            sig += 1.0
+            np.reciprocal(sig, out=sig)
+            act = gate_pre * sig
+        elif activation == "gelu":
+            c = np.sqrt(2.0 / np.pi)
+            tanh_inner = np.tanh(c * (gate_pre + 0.044715 * gate_pre ** 3))
+            act = 0.5 * gate_pre * (1.0 + tanh_inner)
+        else:
+            act = np.maximum(gate_pre, 0.0)
+        hidden = act * up
+        expert_out = hidden @ w_down_t                                      # (E_a, C, d)
+        y = expert_out.reshape(padded_rows, d_model)[dest]                  # (A, d)
+        w_col = top_weights.data.reshape(num_assign, 1)
+        # single-pass weighted combine over the top-k axis
+        out_data = np.einsum(
+            "tkd,tk->td",
+            y.reshape(num_tokens, top_k, d_model),
+            top_weights.data.reshape(num_tokens, top_k))
+
+        requires = is_grad_enabled() and (
+            flat.requires_grad or top_weights.requires_grad
+            or any(p.requires_grad for p in gate_params + up_params + down_params)
+        )
+        parents = (flat, top_weights) + tuple(gate_params + up_params + down_params)
+        out = Tensor(out_data, requires_grad=requires, _prev=parents if requires else ())
+        if not requires:
+            return out
+
+        # ---- fused backward: mirrors the op-by-op chain (same evaluation
+        # order as the composed graph, so loop/batched stay bit-identical).
+        # All large intermediates live in persistent per-layer scratch
+        # buffers; a backward pass allocates almost nothing.
+        def _backward() -> None:
+            ffn_shape = gate_pre.shape                                      # (E_a, C, f)
+            g_rep = self._scratch("g_rep", (num_assign, d_model), dtype)
+            for column in range(top_k):
+                g_rep[column::top_k] = out.grad
+            if top_weights.requires_grad:
+                top_weights._accumulate(
+                    np.einsum("ad,ad->a", g_rep, y).reshape(num_tokens, top_k),
+                    owned=True)
+            np.multiply(g_rep, w_col, out=g_rep)                            # g_rep → g_y
+            g_pad = self._scratch("g_pad", (padded_rows, d_model), dtype)
+            g_pad.fill(0.0)
+            g_pad[dest] = g_rep
+            g_pad3 = g_pad.reshape(num_active, max_count, d_model)
+
+            g_hidden = self._scratch("g_hidden", ffn_shape, dtype)
+            np.matmul(g_pad3, np.swapaxes(w_down_t, 1, 2), out=g_hidden)
+            if any(p.requires_grad for p in down_params):
+                g_w = self._scratch("g_w_down", (num_active, ffn_shape[2], d_model), dtype)
+                np.matmul(np.swapaxes(hidden, 1, 2), g_pad3, out=g_w)
+                g_w_down = np.swapaxes(g_w, 1, 2)
+                for param, grad in zip(down_params, g_w_down):
+                    param._accumulate(grad)
+
+            # [g_gate_pre | g_up] share one contiguous buffer so the weight
+            # gradients of both projections come from a single grouped GEMM.
+            g_gateup = self._scratch("g_gateup", gate_up.shape, dtype)
+            g_act = g_gateup[:, :, :d_ff]
+            g_up = g_gateup[:, :, d_ff:]
+            np.multiply(g_hidden, up, out=g_act)
+            np.multiply(g_hidden, act, out=g_up)
+            scratch = self._scratch("d_act", ffn_shape, dtype)
+            if activation == "silu":
+                # d_act = sig * (1 + gate_pre * (1 - sig))
+                np.subtract(1.0, sig, out=scratch)
+                np.multiply(gate_pre, scratch, out=scratch)
+                scratch += 1.0
+                np.multiply(sig, scratch, out=scratch)
+                np.multiply(g_act, scratch, out=g_act)                      # g_act → g_gate_pre
+            elif activation == "gelu":
+                d_inner = c * (1.0 + 3 * 0.044715 * gate_pre ** 2)
+                np.multiply(
+                    g_act,
+                    0.5 * (1.0 + tanh_inner)
+                    + 0.5 * gate_pre * (1.0 - tanh_inner ** 2) * d_inner,
+                    out=g_act)
+            else:
+                np.multiply(g_act, gate_pre > 0, out=g_act)
+            g_gate_pre = g_act
+            if any(p.requires_grad for p in gate_params + up_params):
+                padded3_b = build_padded("bwd_padded", zero_padding=False)
+                g_w = self._scratch("g_w_gateup", (num_active, d_model, 2 * d_ff), dtype)
+                np.matmul(np.swapaxes(padded3_b, 1, 2), g_gateup, out=g_w)
+                g_w_sw = np.swapaxes(g_w, 1, 2)                             # (E_a, 2f, d)
+                for j in range(num_active):
+                    gate_params[j]._accumulate(g_w_sw[j, :d_ff])
+                    up_params[j]._accumulate(g_w_sw[j, d_ff:])
+            if flat.requires_grad:
+                # Two GEMMs (not one over the concatenated 2f axis): keeping
+                # the gate/up contributions as separate dot products + add
+                # preserves the loop path's summation grouping bit-for-bit.
+                g_padded = self._scratch("g_padded", padded3.shape, dtype)
+                g_second = self._scratch("g_padded2", padded3.shape, dtype)
+                np.matmul(g_gate_pre, np.swapaxes(w_gate_t, 1, 2), out=g_padded)
+                np.matmul(g_up, np.swapaxes(w_up_t, 1, 2), out=g_second)
+                g_padded += g_second
+                g_x_rep = g_padded.reshape(padded_rows, d_model)[dest]
+                flat._accumulate(
+                    g_x_rep.reshape(num_tokens, top_k, d_model).sum(axis=1), owned=True)
+
+        out._backward = _backward
+        return out
+
+    def __getstate__(self):
+        # Scratch workspaces are activation-sized and purely transient; keep
+        # them out of pickles (e.g. process-pool fine-tuner snapshots).
+        state = self.__dict__.copy()
+        state["_bwd_scratch"] = {}
+        return state
+
+    def _scratch(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Persistent backward scratch buffer, reallocated only on shape change.
+
+        Allocated zeroed: consumers that skip re-zeroing rely on stale
+        contents being finite (never NaN/Inf heap garbage).
+        """
+        buf = self._bwd_scratch.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.zeros(shape, dtype=dtype)
+            self._bwd_scratch[name] = buf
+        return buf
+
+    # ------------------------------------------------------ routing statistics
+    def _record_routing(self, top_idx: np.ndarray, top_weights: Tensor,
+                        num_tokens: int, seq_len: int,
+                        token_attention: Optional[np.ndarray],
+                        sample_ids: Optional[np.ndarray],
+                        token_mask: Optional[np.ndarray]) -> None:
+        """Vectorised routing bookkeeping (kept in original-expert coordinates)."""
+        record = RoutingRecord.empty(self.num_original_experts)
+        if token_mask is None:
+            flat_mask = None
+            valid_idx = top_idx                            # (T, top_k)
+            valid_weights = top_weights.data
+            total_tokens = num_tokens
+        else:
+            flat_mask = np.asarray(token_mask, dtype=bool).reshape(num_tokens)
+            valid_idx = top_idx[flat_mask]                 # (V, top_k)
+            valid_weights = top_weights.data[flat_mask]
+            total_tokens = int(flat_mask.sum())
+
+        if valid_idx.size:
+            minlength = self.num_original_experts
+            flat_ids = valid_idx.reshape(-1)
+            record.token_counts += np.bincount(flat_ids, minlength=minlength)
+            if token_attention is not None:
+                flat_attention = np.asarray(token_attention, dtype=np.float64).reshape(num_tokens)
+                if flat_mask is not None:
+                    flat_attention = flat_attention[flat_mask]
+                record.attention_sums += np.bincount(
+                    flat_ids, weights=np.repeat(flat_attention, self.top_k), minlength=minlength)
+            record.gate_weight_sums += np.bincount(
+                flat_ids,
+                weights=valid_weights.reshape(-1).astype(np.float64, copy=False),
+                minlength=minlength,
+            )
+            if sample_ids is not None:
+                flat_samples = np.repeat(np.asarray(sample_ids, dtype=np.int64), seq_len)
+                if flat_mask is not None:
+                    flat_samples = flat_samples[flat_mask]
+                samples = np.repeat(flat_samples, self.top_k)
+                if samples.size and samples.min() >= 0:
+                    # Encode (expert, sample) pairs as scalars: deduplicating
+                    # 1-D keys is much cheaper than np.unique(..., axis=0) on
+                    # pair rows, and when the key space is small a bincount
+                    # presence scan beats the hash/sort entirely.
+                    modulus = int(samples.max()) + 1
+                    keys = flat_ids * modulus
+                    keys += samples
+                    key_space = modulus * self.num_original_experts
+                    if key_space <= 4 * keys.size + 1024:
+                        unique_keys = np.flatnonzero(np.bincount(keys, minlength=key_space))
+                    else:
+                        unique_keys = np.unique(keys)
+                    for key in unique_keys:
+                        record.sample_ids[int(key) // modulus].add(int(key) % modulus)
+                else:
+                    for expert_id, sample in zip(flat_ids, samples):
+                        record.sample_ids[int(expert_id)].add(int(sample))
+        record.total_tokens = total_tokens
         self.last_routing = record
         if self.accumulate_routing:
             if self._accumulated is None:
                 self._accumulated = RoutingRecord.empty(self.num_original_experts)
             self._accumulated.merge(record)
 
-        out = combined
-        for shared in self.shared_experts:
-            out = out + shared(flat)
-        return out.reshape(batch, seq_len, d_model)
-
     # ------------------------------------------------------------- inspection
+    def stacked_expert_weights(self) -> Dict[str, np.ndarray]:
+        """Stack every local expert's matrices into ``(num_experts, ...)`` arrays.
+
+        This is the raw-data (no-gradient) counterpart of the batched dispatch
+        tensors, consumed by clustering / merging / quantization code that
+        previously re-stacked flattened weight vectors expert by expert.
+        """
+        return stack_expert_weights(list(self.experts))
+
     def expert_weight_matrix(self) -> np.ndarray:
-        """Stack every local expert's flattened weights into a 2-D matrix."""
-        return np.stack([expert.weight_vector() for expert in self.experts])
+        """Stack every local expert's flattened weights into a 2-D matrix.
+
+        Rows keep the :meth:`ExpertFFN.weight_vector` layout
+        ``[w_gate, w_up, w_down]`` but are built from the stacked weight
+        arrays in three reshapes instead of per-expert flatten+concatenate.
+        """
+        if not all(type(expert) is ExpertFFN for expert in self.experts):
+            return np.stack([expert.weight_vector() for expert in self.experts])
+        stacked = self.stacked_expert_weights()
+        count = len(self.experts)
+        return np.concatenate(
+            [stacked[key].reshape(count, -1) for key in ("w_gate", "w_up", "w_down")], axis=1
+        )

@@ -22,7 +22,7 @@ import numpy as np
 
 from ..autograd import Dropout, Embedding, Linear, Module, ModuleList, RMSNorm, Tensor
 from ..autograd import functional as F
-from ..autograd import no_grad
+from ..autograd import default_dtype, no_grad
 from .attention import MultiHeadSelfAttention
 from .config import MoEModelConfig
 from .experts import ExpertFFN
@@ -49,6 +49,7 @@ class MoETransformerBlock(Module):
             activation=config.activation,
             gate_noise_std=config.gate_noise_std,
             rng=rng,
+            dispatch=config.dispatch,
         )
         self.dropout = Dropout(config.dropout, rng=rng)
 
@@ -72,17 +73,21 @@ class MoETransformer(Module):
         super().__init__()
         self.config = config
         rng = np.random.default_rng(config.seed)
-        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
-        self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)
-        self.blocks = ModuleList([
-            MoETransformerBlock(config, num_experts, rng=rng)
-            for num_experts in config.experts_per_layer()
-        ])
-        self.final_norm = RMSNorm(config.d_model, eps=config.rms_norm_eps)
-        if config.tie_embeddings:
-            self.lm_head = None
-        else:
-            self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
+        # Parameters are created under the config's dtype; random draws happen
+        # in float64 before casting, so a float32 model is the rounded image of
+        # the float64 model built from the same seed.
+        with default_dtype(config.dtype):
+            self.token_embedding = Embedding(config.vocab_size, config.d_model, rng=rng)
+            self.position_embedding = Embedding(config.max_seq_len, config.d_model, rng=rng)
+            self.blocks = ModuleList([
+                MoETransformerBlock(config, num_experts, rng=rng)
+                for num_experts in config.experts_per_layer()
+            ])
+            self.final_norm = RMSNorm(config.d_model, eps=config.rms_norm_eps)
+            if config.tie_embeddings:
+                self.lm_head = None
+            else:
+                self.lm_head = Linear(config.d_model, config.vocab_size, bias=False, rng=rng)
 
     # ---------------------------------------------------------------- forward
     def forward_hidden(self, input_ids: np.ndarray,

@@ -29,10 +29,14 @@ class QuantizedArray:
     scales: np.ndarray
     bits: int
     original_shape: tuple
+    #: dtype of the source weights; dequantisation reconstructs in this dtype
+    #: so quantizing a float32 model does not silently upcast it to float64
+    dtype: str = "float64"
 
     def dequantize(self) -> np.ndarray:
-        """Reconstruct the (lossy) floating-point weights."""
-        return (self.codes * self.scales[:, None]).reshape(self.original_shape)
+        """Reconstruct the (lossy) floating-point weights in the source dtype."""
+        values = (self.codes * self.scales[:, None]).reshape(self.original_shape)
+        return values.astype(self.dtype, copy=False)
 
     @property
     def nbytes(self) -> float:
@@ -50,7 +54,9 @@ def quantize_array(weights: np.ndarray, bits: int) -> QuantizedArray:
     row_absmax = np.abs(matrix).max(axis=1)
     scales = np.where(row_absmax > 0, row_absmax / qmax, 1.0)
     codes = np.clip(np.round(matrix / scales[:, None]), -qmax - 1, qmax).astype(np.int32)
-    return QuantizedArray(codes=codes, scales=scales, bits=bits, original_shape=original_shape)
+    dtype = str(weights.dtype) if weights.dtype.kind == "f" else "float64"
+    return QuantizedArray(codes=codes, scales=scales, bits=bits,
+                          original_shape=original_shape, dtype=dtype)
 
 
 def dequantize_array(quantized: QuantizedArray) -> np.ndarray:
