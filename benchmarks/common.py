@@ -13,9 +13,8 @@ for a quick smoke run of the whole suite.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro import (
     FMDFineTuner,

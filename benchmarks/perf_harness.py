@@ -138,7 +138,6 @@ def _make_model(preset: str, dispatch: Optional[str], dtype: Optional[str]):
     from repro.models import MoETransformer
     from repro.models.presets import get_preset
 
-    kwargs = {}
     if dispatch is not None and dtype is not None:
         try:
             config = get_preset(preset.replace("_", "-"), dtype=dtype, dispatch=dispatch)

@@ -7,7 +7,6 @@ expert-only updates) for growing expert counts; the paper's monotone growth
 (62.85s -> 394.16s) should be preserved in shape.
 """
 
-import pytest
 
 from common import print_header, print_table
 from repro.models.presets import ARCHITECTURE_DESCRIPTORS

@@ -10,7 +10,7 @@ frequency vectors) and the variance series for both datasets.
 import numpy as np
 import pytest
 
-from common import build_federation, default_run_config, make_vocab, print_header, print_table
+from common import build_federation, make_vocab, print_header, print_table
 from repro.analysis import profile_activation
 from repro.data import make_batches, make_dataset
 from repro.models import MoETransformer

@@ -7,8 +7,6 @@ same comparison runs on the GSM8K-like dataset: "keep" preserves non-tuning
 experts frozen in place, "discard" drops them (FMES-style skip).
 """
 
-import numpy as np
-import pytest
 
 from common import (
     build_federation,

@@ -6,8 +6,6 @@ model (e.g. ~11% mean error at 4 bits), with higher precision giving lower
 error.  This benchmark reproduces the 4 datasets x 3 bit-widths grid.
 """
 
-import numpy as np
-import pytest
 
 from common import DATASETS, make_vocab, model_config, print_header, print_table
 from repro.analysis import estimation_error, profile_activation

@@ -7,7 +7,6 @@ zero), which is what makes stale profiling viable.
 """
 
 import numpy as np
-import pytest
 
 from common import (
     build_federation,

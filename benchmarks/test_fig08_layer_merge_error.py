@@ -8,8 +8,6 @@ one layer at a time (Dolly-like and GSM8K-like data) and reports the error per
 merge depth.
 """
 
-import numpy as np
-import pytest
 
 from common import make_vocab, model_config, print_header, print_table
 from repro.analysis import output_error, profile_activation

@@ -6,8 +6,6 @@ significant experts, some have low activation frequency but high attention
 scores on the tokens they process.
 """
 
-import numpy as np
-import pytest
 
 from common import make_vocab, model_config, print_header, print_table
 from repro.analysis import (

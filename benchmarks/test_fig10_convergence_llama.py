@@ -7,14 +7,11 @@ spends far more time per round (offloading), FMES is cheap but plateaus below
 Flux, and Flux reaches high accuracy in the least time.
 """
 
-import numpy as np
-import pytest
 
 from common import (
     DATASETS,
     METHODS,
     default_rounds,
-    default_run_config,
     print_header,
     print_series,
     run_all_methods,

@@ -5,8 +5,6 @@ finer-grained experts plus a shared expert).  The method ordering should match
 Figure 10; absolute times are larger because the model has more experts.
 """
 
-import numpy as np
-import pytest
 
 from common import (
     DATASETS,

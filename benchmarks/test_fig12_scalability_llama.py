@@ -7,8 +7,6 @@ and adding participants reduces (or at least does not increase) each method's
 time-to-accuracy.
 """
 
-import numpy as np
-import pytest
 
 from common import (
     DATASETS,

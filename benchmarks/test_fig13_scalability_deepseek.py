@@ -3,10 +3,8 @@
 Same protocol as Figure 12 on the DeepSeek-MoE-like mini model.
 """
 
-import pytest
 
-from common import DATASETS, FAST, METHODS, default_rounds, default_run_config, print_header
-from test_fig12_scalability_llama import PARTICIPANT_COUNTS, _measure, _print_and_check
+from test_fig12_scalability_llama import _measure, _print_and_check
 
 
 def test_fig13_scalability_deepseek(benchmark):

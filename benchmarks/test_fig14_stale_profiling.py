@@ -7,7 +7,6 @@ because quantization + profiling overlap with aggregation.
 """
 
 import numpy as np
-import pytest
 
 from common import (
     DATASETS,
@@ -18,7 +17,7 @@ from common import (
     print_header,
     print_table,
 )
-from repro.core import FluxConfig, FluxFineTuner, StaleProfiler
+from repro.core import FluxFineTuner, StaleProfiler
 from repro.data import make_batches
 from repro.federated import ParameterServer
 from repro.models import MoETransformer

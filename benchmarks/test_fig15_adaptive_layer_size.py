@@ -8,7 +8,6 @@ output error.
 """
 
 import numpy as np
-import pytest
 
 from common import DATASETS, make_vocab, model_config, print_header, print_table
 from repro.analysis import output_error, profile_activation

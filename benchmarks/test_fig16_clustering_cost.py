@@ -7,7 +7,6 @@ repeated centroid initialisation and per-layer dispatch.
 """
 
 import numpy as np
-import pytest
 
 from common import print_header, print_table
 from repro.core import cluster_experts

@@ -8,7 +8,6 @@ over rounds of local fine-tuning.
 """
 
 import numpy as np
-import pytest
 
 from common import (
     DATASETS,

@@ -6,8 +6,6 @@ the best fixed setting because it explores early (when utility estimates are
 poor) and exploits late.
 """
 
-import numpy as np
-import pytest
 
 from common import (
     build_federation,
@@ -16,7 +14,6 @@ from common import (
     default_run_config,
     print_header,
     print_series,
-    print_table,
 )
 from repro.core import EpsilonSchedule, FluxFineTuner
 from repro.federated import ParameterServer

@@ -7,8 +7,6 @@ hidden behind aggregation).  This benchmark reports the same breakdown from the
 simulated per-phase accounting of a Flux run on each dataset.
 """
 
-import numpy as np
-import pytest
 
 from common import (
     DATASETS,

@@ -16,8 +16,6 @@ The federation uses the tiny MoE preset so a 100-client round stays tractable;
 cost accounting still charges full-scale (LLaMA-MoE) device costs.
 """
 
-import numpy as np
-import pytest
 
 from common import FAST, print_header, print_table
 

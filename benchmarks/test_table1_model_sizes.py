@@ -7,7 +7,7 @@ and checks the rows against the published numbers.
 import pytest
 
 from common import print_header, print_table
-from repro.models import ARCHITECTURE_DESCRIPTORS, table1_rows
+from repro.models import table1_rows
 
 #: (model, layers, experts, params in B, size in GB) as printed in the paper
 PAPER_TABLE1 = {

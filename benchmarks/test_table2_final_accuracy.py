@@ -7,7 +7,6 @@ discarding experts, and FMQ loses the most to quantization error.
 """
 
 import numpy as np
-import pytest
 
 from common import (
     DATASETS,

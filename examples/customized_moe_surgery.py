@@ -31,7 +31,7 @@ from repro import (
     make_dolly_like,
     save_checkpoint,
 )
-from repro.analysis import output_error, profile_activation
+from repro.analysis import output_error
 from repro.core import QuantizedProfiler, build_compact_model, plan_compact_model
 from repro.data import make_batches
 

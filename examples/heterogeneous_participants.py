@@ -12,7 +12,6 @@ Run with:  python examples/heterogeneous_participants.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import (
     FluxConfig,

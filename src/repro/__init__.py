@@ -42,6 +42,15 @@ staleness-discounted updates), ``sampler`` the client-selection policy,
 """
 
 from .baselines import FMDFineTuner, FMESFineTuner, FMQFineTuner
+from .comm import (
+    Channel,
+    ChannelStats,
+    StreamingAggregator,
+    available_codecs,
+    decode_update,
+    encode_update,
+    get_codec,
+)
 from .core import (
     EpsilonSchedule,
     FluxConfig,
@@ -125,6 +134,14 @@ __all__ = [
     "FederatedFineTuner",
     "RunConfig",
     "RunResult",
+    # comm (wire-level transport)
+    "Channel",
+    "ChannelStats",
+    "StreamingAggregator",
+    "get_codec",
+    "available_codecs",
+    "encode_update",
+    "decode_update",
     # systems
     "DeviceProfile",
     "CONSUMER_GPU",

@@ -10,8 +10,8 @@ Figure 6 (activation drift across rounds).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import List, Sequence, Set
 
 import numpy as np
 

@@ -10,14 +10,13 @@ activation frequency and the attention scores of its tokens.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..data import Batch
-from ..models import ExpertFFN, MoETransformer
+from ..models import MoETransformer
 from .activation import ActivationProfile, profile_activation
-from .output_error import output_error
 
 
 @dataclass

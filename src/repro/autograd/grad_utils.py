@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict
 
 import numpy as np
 
-from .nn import Module, Parameter
+from .nn import Module
 
 
 def gradient_norm(module: Module) -> float:

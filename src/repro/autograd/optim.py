@@ -14,7 +14,7 @@ matches the original out-of-place formulas, so results are bit-identical.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

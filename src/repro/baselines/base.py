@@ -9,9 +9,8 @@ building the participant communication plan.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
-import numpy as np
 
 from ..federated import ExpertUpdate, FederatedFineTuner, Participant
 from ..federated.client import LocalTrainResult

@@ -11,9 +11,8 @@ limits FMES's final accuracy relative to Flux.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from ..analysis import ActivationProfile
 from ..core.profiling import QuantizedProfiler

@@ -28,6 +28,15 @@ class FMQFineTuner(FederatedFineTuner):
             raise ValueError("bits must be one of 2, 3, 4, 8")
         self.bits = bits
 
+    def wire_codec_name(self) -> str:
+        """FMQ ships quantized payloads, so wire transport defaults to the
+        matching ``int{bits}`` codec; an explicit ``RunConfig.codec`` choice
+        (even ``"fp64"``) wins, and 3-bit models — which have no byte-packable
+        wire codec — fall back to the base default."""
+        if self.config.codec is None and self.bits in (2, 4, 8):
+            return f"int{self.bits}"
+        return super().wire_codec_name()
+
     def participant_round(self, participant: Participant, round_index: int) -> ParticipantRoundResult:
         local_model = quantize_model(self.server.model_snapshot(), self.bits)
         batches = participant.local_batches(

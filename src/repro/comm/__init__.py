@@ -1,0 +1,57 @@
+"""Wire-level communication stack: codecs, framing, channels, streaming.
+
+This layer sits *below* the federated substrate: it knows how to turn tensors
+into framed byte payloads (:mod:`~repro.comm.serialization`) under a pluggable
+:class:`Codec` (:mod:`~repro.comm.codecs`), how to move those payloads over a
+metered, faultable link (:mod:`~repro.comm.channel`), and how to fold decoded
+updates into a constant-memory running average
+(:mod:`~repro.comm.aggregator`).  The federated stack selects a codec and
+transport via :class:`~repro.federated.RunConfig` (``codec=``,
+``transport="wire"``, ``streaming_aggregation=True``).
+"""
+
+from .aggregator import StreamingAggregator, finalize_weighted_sum, fold_weighted_state
+from .channel import Channel, ChannelStats, TransferRecord
+from .codecs import (
+    CastCodec,
+    Codec,
+    GroupQuantCodec,
+    TopKDeltaCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from .serialization import (
+    KIND_STATE_DICT,
+    KIND_UPDATE,
+    MAGIC,
+    PayloadCorruptedError,
+    decode_state_dict,
+    decode_update,
+    encode_state_dict,
+    encode_update,
+)
+
+__all__ = [
+    "Codec",
+    "CastCodec",
+    "GroupQuantCodec",
+    "TopKDeltaCodec",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
+    "MAGIC",
+    "KIND_UPDATE",
+    "KIND_STATE_DICT",
+    "PayloadCorruptedError",
+    "encode_update",
+    "decode_update",
+    "encode_state_dict",
+    "decode_state_dict",
+    "StreamingAggregator",
+    "fold_weighted_state",
+    "finalize_weighted_sum",
+    "Channel",
+    "ChannelStats",
+    "TransferRecord",
+]

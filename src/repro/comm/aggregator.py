@@ -1,0 +1,108 @@
+"""Constant-memory streaming aggregation of expert updates.
+
+The buffered FedAvg path keeps every client's update alive until the round
+closes — O(clients) server memory.  :class:`StreamingAggregator` instead folds
+each update into a running weighted sum per expert key the moment it arrives,
+so peak server memory is one update plus the running sums, independent of how
+many clients contributed.
+
+Bit-identity with the buffered path is guaranteed structurally:
+:func:`repro.federated.aggregation.fedavg_states` is implemented on top of the
+same :func:`fold_weighted_state` / :func:`finalize_weighted_sum` pair, folding
+in the same arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from .serialization import decode_update
+
+ExpertKey = Tuple[int, int]
+
+
+def fold_weighted_state(acc: Dict[str, np.ndarray], state: Dict[str, np.ndarray],
+                        weight: float) -> None:
+    """Fold ``weight * state`` into ``acc`` in place (float64 accumulators)."""
+    if weight < 0:
+        raise ValueError("aggregation weights must be non-negative")
+    if acc and set(state) != set(acc):
+        raise ValueError("cannot fold states with mismatched tensor names")
+    for name, value in state.items():
+        term = np.multiply(np.asarray(value), float(weight), dtype=np.float64)
+        if name in acc:
+            acc[name] += term
+        else:
+            acc[name] = term
+
+
+def finalize_weighted_sum(acc: Dict[str, np.ndarray],
+                          total_weight: float) -> Dict[str, np.ndarray]:
+    """Divide the running sums by the total weight."""
+    if total_weight <= 0:
+        raise ValueError("cannot finalize an aggregation with non-positive total weight")
+    return {name: value / total_weight for name, value in acc.items()}
+
+
+class StreamingAggregator:
+    """Folds expert updates one at a time into per-expert running sums.
+
+    Unlike the buffered path, all-zero weights cannot fall back to a uniform
+    average (the individual states are gone by finalize time); feeding only
+    zero-weight updates for a key raises at :meth:`finalize`.
+    """
+
+    def __init__(self) -> None:
+        self._sums: Dict[ExpertKey, Dict[str, np.ndarray]] = {}
+        self._weights: Dict[ExpertKey, float] = {}
+        self._counts: Dict[ExpertKey, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._sums)
+
+    @property
+    def num_updates(self) -> int:
+        return sum(self._counts.values())
+
+    def contributions(self) -> Dict[ExpertKey, int]:
+        """Updates folded so far, per expert key."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------ folding
+    def add_state(self, key: ExpertKey, state: Dict[str, np.ndarray],
+                  weight: float) -> None:
+        acc = self._sums.setdefault(key, {})
+        fold_weighted_state(acc, state, weight)
+        self._weights[key] = self._weights.get(key, 0.0) + float(weight)
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def add(self, update) -> None:
+        """Fold one :class:`~repro.federated.aggregation.ExpertUpdate`."""
+        self.add_state(update.key, update.state, update.weight)
+
+    def add_updates(self, updates: Iterable) -> None:
+        for update in updates:
+            self.add(update)
+
+    def add_payload(self, data: bytes,
+                    reference: Optional[Dict[str, np.ndarray]] = None,
+                    reference_lookup=None):
+        """Decode one wire frame and fold it; returns the decoded update."""
+        update = decode_update(data, reference=reference,
+                               reference_lookup=reference_lookup)
+        self.add(update)
+        return update
+
+    # --------------------------------------------------------------- finalizing
+    def finalize(self) -> Dict[ExpertKey, Dict[str, np.ndarray]]:
+        """Averaged state per expert key (leaves the aggregator intact)."""
+        return {key: finalize_weighted_sum(acc, self._weights[key])
+                for key, acc in self._sums.items()}
+
+    def apply(self, model) -> Dict[ExpertKey, int]:
+        """Write the averaged experts into ``model``; returns contributions."""
+        for (layer, expert), averaged in self.finalize().items():
+            model.load_expert_state(layer, expert, averaged)
+        return self.contributions()

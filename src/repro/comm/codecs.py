@@ -1,0 +1,267 @@
+"""Pluggable wire codecs: how one tensor becomes bytes on the wire.
+
+A :class:`Codec` turns a numpy array into one or more byte *sections* (and
+back).  Sections are codec-specific — a cast codec ships one section of raw
+little-endian values, a quantizing codec ships packed integer codes plus
+per-row scales, the top-k codec ships indices plus delta values — and the
+framing layer (:mod:`repro.comm.serialization`) wraps them with shapes,
+dtypes and a checksum so the receiver can reconstruct the tensor without any
+out-of-band knowledge beyond, for delta codecs, the shared reference state.
+
+Codecs are stateless and registered by name; look one up with
+:func:`get_codec` (``"topk:<density>"`` parameterises the sparsifier inline).
+Every codec also reports an analytic :meth:`~Codec.wire_bytes_per_param` so
+the historical :class:`~repro.federated.communication.ExchangePlan` estimates
+can be cross-checked against measured payload sizes.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..quantization import pack_int_codes, quantize_array, unpack_int_codes
+
+#: section dtypes are fixed little-endian so frames are portable
+_SCALE_DTYPE = "<f4"
+_INDEX_DTYPE = "<u4"
+_VALUE_DTYPE = "<f8"
+
+
+class PayloadCorruptedError(ValueError):
+    """A wire payload failed its checksum or is structurally inconsistent.
+
+    Raised by the framing layer on CRC mismatch and by codecs when a frame's
+    declared geometry disagrees with its section contents.  Caller mistakes —
+    a missing or wrong-shaped delta reference — stay plain :class:`ValueError`
+    so they surface as bugs instead of being dropped as line noise.
+    """
+
+
+class Codec(abc.ABC):
+    """One wire encoding for a single tensor."""
+
+    #: registry tag (also written into every frame)
+    name: str = "base"
+    #: True when decode reproduces the input bit-for-bit (given a wide-enough
+    #: source dtype); False for lossy (bounded-error) codecs
+    exact: bool = False
+    #: True when encode/decode need the shared reference tensor (delta codecs)
+    needs_reference: bool = False
+
+    @abc.abstractmethod
+    def encode_array(self, array: np.ndarray,
+                     reference: Optional[np.ndarray] = None) -> List[bytes]:
+        """Encode ``array`` into this codec's byte sections."""
+
+    @abc.abstractmethod
+    def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
+                     dtype: np.dtype,
+                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reconstruct a tensor of ``shape``/``dtype`` from byte sections."""
+
+    @abc.abstractmethod
+    def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
+        """Analytic payload bytes per parameter (excluding frame headers).
+
+        ``group_size`` is the number of parameters sharing one scale (for
+        group/row-quantized codecs); codecs without scales ignore it.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _check_reference(array_shape: Tuple[int, ...],
+                     reference: Optional[np.ndarray]) -> np.ndarray:
+    if reference is None:
+        raise ValueError("this codec requires the shared reference tensor")
+    reference = np.asarray(reference)
+    if tuple(reference.shape) != tuple(array_shape):
+        raise ValueError(
+            f"reference shape {reference.shape} does not match tensor shape {array_shape}")
+    return reference
+
+
+class CastCodec(Codec):
+    """Cast to a fixed floating dtype and ship the raw values.
+
+    ``fp64`` is lossless for every float source; ``fp32``/``fp16`` are exact
+    for sources already representable at that width and bounded-error casts
+    otherwise.
+    """
+
+    def __init__(self, name: str, wire_dtype: str) -> None:
+        self.name = name
+        self.wire_dtype = np.dtype(wire_dtype)
+        self.exact = self.wire_dtype.itemsize >= 8
+
+    def encode_array(self, array: np.ndarray,
+                     reference: Optional[np.ndarray] = None) -> List[bytes]:
+        values = np.ascontiguousarray(np.asarray(array), dtype=self.wire_dtype)
+        return [values.tobytes()]
+
+    def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
+                     dtype: np.dtype,
+                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+        if len(sections) != 1:
+            raise PayloadCorruptedError("cast codec expects exactly one section")
+        values = np.frombuffer(sections[0], dtype=self.wire_dtype)
+        if values.size != math.prod(shape):
+            raise PayloadCorruptedError("payload size does not match the declared shape")
+        return values.reshape(shape).astype(dtype)
+
+    def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
+        return float(self.wire_dtype.itemsize)
+
+
+class GroupQuantCodec(Codec):
+    """Symmetric row-quantized integers plus float32 scales.
+
+    Reuses :func:`repro.quantization.quantize_array` (one scale per output
+    row) and packs the integer codes at ``bits`` per value; decode multiplies
+    back and restores the source dtype.  The reconstruction error is bounded
+    by half a quantization step per element.
+    """
+
+    def __init__(self, bits: int) -> None:
+        if bits not in (2, 4, 8):
+            raise ValueError("group-quantized wire codecs support 2, 4 or 8 bits")
+        self.bits = bits
+        self.name = f"int{bits}"
+
+    def encode_array(self, array: np.ndarray,
+                     reference: Optional[np.ndarray] = None) -> List[bytes]:
+        array = np.asarray(array)
+        if array.size == 0:
+            return [b"", b""]
+        quantized = quantize_array(array, self.bits)
+        codes = pack_int_codes(quantized.codes, self.bits)
+        scales = np.ascontiguousarray(quantized.scales, dtype=_SCALE_DTYPE).tobytes()
+        return [codes, scales]
+
+    def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
+                     dtype: np.dtype,
+                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+        if len(sections) != 2:
+            raise PayloadCorruptedError("quantized codec expects code + scale sections")
+        packed, scale_bytes = sections
+        size = math.prod(shape)
+        if size == 0:
+            return np.zeros(shape, dtype=dtype)
+        try:
+            codes = unpack_int_codes(packed, self.bits, size)
+        except ValueError as exc:
+            raise PayloadCorruptedError(str(exc)) from exc
+        scales = np.frombuffer(scale_bytes, dtype=_SCALE_DTYPE).astype(np.float64)
+        rows = shape[0] if len(shape) > 1 else 1
+        if scales.size != rows:
+            raise PayloadCorruptedError("scale count does not match the declared row count")
+        values = codes.reshape(rows, -1) * scales[:, None]
+        return values.reshape(shape).astype(dtype)
+
+    def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
+        per_code = self.bits / 8.0
+        if group_size is None:
+            return per_code
+        if group_size <= 0:
+            raise ValueError("group_size must be positive")
+        return per_code + np.dtype(_SCALE_DTYPE).itemsize / float(group_size)
+
+
+class TopKDeltaCodec(Codec):
+    """Sparsified delta-vs-reference encoding.
+
+    Ships only the ``density`` fraction of entries where the tensor moved
+    farthest from the shared reference (the global expert state the client
+    downloaded); the receiver adds those deltas back onto its own copy of the
+    reference.  Reconstruction error is bounded by the norm of the dropped
+    deltas — zero at ``density=1`` up to float addition round-off.
+    """
+
+    needs_reference = True
+
+    def __init__(self, density: float = 0.1) -> None:
+        if not 0.0 < density <= 1.0:
+            raise ValueError("topk density must be in (0, 1]")
+        self.density = density
+        self.name = "topk" if density == 0.1 else f"topk:{density:g}"
+
+    def encode_array(self, array: np.ndarray,
+                     reference: Optional[np.ndarray] = None) -> List[bytes]:
+        array = np.asarray(array)
+        reference = _check_reference(array.shape, reference)
+        delta = np.asarray(array, dtype=np.float64) - np.asarray(reference, dtype=np.float64)
+        flat = delta.reshape(-1)
+        if flat.size == 0:
+            return [b"", b""]
+        k = max(1, int(math.ceil(self.density * flat.size)))
+        if k >= flat.size:
+            indices = np.arange(flat.size, dtype=np.uint32)
+        else:
+            indices = np.sort(np.argpartition(np.abs(flat), -k)[-k:]).astype(np.uint32)
+        values = flat[indices]
+        return [
+            np.ascontiguousarray(indices, dtype=_INDEX_DTYPE).tobytes(),
+            np.ascontiguousarray(values, dtype=_VALUE_DTYPE).tobytes(),
+        ]
+
+    def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
+                     dtype: np.dtype,
+                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+        reference = _check_reference(shape, reference)
+        if len(sections) != 2:
+            raise PayloadCorruptedError("top-k codec expects index + value sections")
+        indices = np.frombuffer(sections[0], dtype=_INDEX_DTYPE)
+        values = np.frombuffer(sections[1], dtype=_VALUE_DTYPE)
+        if indices.size != values.size:
+            raise PayloadCorruptedError("top-k index and value sections disagree in length")
+        out = np.asarray(reference, dtype=np.float64).copy().reshape(-1)
+        if indices.size and int(indices.max()) >= out.size:
+            raise PayloadCorruptedError("top-k index outside the declared tensor")
+        out[indices] += values
+        return out.reshape(shape).astype(dtype)
+
+    def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
+        per_entry = np.dtype(_INDEX_DTYPE).itemsize + np.dtype(_VALUE_DTYPE).itemsize
+        return self.density * per_entry
+
+
+# --------------------------------------------------------------------- registry
+_REGISTRY: Dict[str, Codec] = {}
+
+
+def register_codec(codec: Codec) -> Codec:
+    """Register ``codec`` under its name (later registrations win)."""
+    _REGISTRY[codec.name] = codec
+    return codec
+
+
+def available_codecs() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_codec(name: str) -> Codec:
+    """Look up a codec by tag; ``"topk:<density>"`` builds a parameterised one."""
+    codec = _REGISTRY.get(name)
+    if codec is not None:
+        return codec
+    if name.startswith("topk:"):
+        try:
+            density = float(name.split(":", 1)[1])
+        except ValueError:
+            raise KeyError(f"malformed topk codec tag {name!r}") from None
+        return register_codec(TopKDeltaCodec(density=density))
+    raise KeyError(f"unknown codec {name!r}; available: {available_codecs()}")
+
+
+register_codec(CastCodec("fp64", "<f8"))
+register_codec(CastCodec("fp32", "<f4"))
+register_codec(CastCodec("fp16", "<f2"))
+register_codec(GroupQuantCodec(bits=8))
+register_codec(GroupQuantCodec(bits=4))
+register_codec(GroupQuantCodec(bits=2))
+register_codec(TopKDeltaCodec(density=0.1))

@@ -1,0 +1,206 @@
+"""Framed wire serialization for expert updates and full state dicts.
+
+Frame layout (all integers little-endian)::
+
+    "RWP1" | kind u8 | codec_len u8 | codec utf-8
+    kind=UPDATE:     participant i32 | layer i32 | expert i32 | weight f8
+    kind=STATE_DICT: (nothing extra)
+    ntensors u16
+    per tensor: name_len u16 | name utf-8 | dtype_len u8 | dtype str
+                ndim u8 | dim u32 * ndim
+                nsections u8 | (section_len u32 | section bytes) * nsections
+    crc32 over everything above, u32
+
+The trailing CRC covers the whole frame — header fields included — so any
+single flipped bit surfaces as :class:`PayloadCorruptedError` instead of a
+silently mis-addressed or mis-valued update.  Tensor *values* travel in
+whatever sections the frame's :class:`~repro.comm.codecs.Codec` produced;
+shape and source dtype always travel in the clear so the receiver can
+reconstruct without out-of-band metadata.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .codecs import Codec, PayloadCorruptedError, get_codec
+
+MAGIC = b"RWP1"
+KIND_UPDATE = 1
+KIND_STATE_DICT = 2
+
+#: bytes of frame overhead that do not scale with tensor size
+FIXED_HEADER_BYTES = len(MAGIC) + 1 + 1 + 4  # magic, kind, codec_len, crc
+
+
+ReferenceLookup = Callable[[int, int], Dict[str, np.ndarray]]
+
+
+def _encode_tensors(parts: List[bytes], codec: Codec, state: Dict[str, np.ndarray],
+                    reference: Optional[Dict[str, np.ndarray]]) -> None:
+    parts.append(struct.pack("<H", len(state)))
+    for name, value in state.items():
+        array = np.asarray(value)
+        name_bytes = name.encode("utf-8")
+        dtype_bytes = array.dtype.str.encode("ascii")
+        parts.append(struct.pack("<H", len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(struct.pack("<B", len(dtype_bytes)))
+        parts.append(dtype_bytes)
+        parts.append(struct.pack("<B", array.ndim))
+        parts.append(struct.pack(f"<{array.ndim}I", *array.shape))
+        ref = None
+        if codec.needs_reference:
+            if reference is None or name not in reference:
+                raise ValueError(
+                    f"codec {codec.name!r} needs a reference for tensor {name!r}")
+            ref = reference[name]
+        sections = codec.encode_array(array, reference=ref)
+        parts.append(struct.pack("<B", len(sections)))
+        for section in sections:
+            parts.append(struct.pack("<I", len(section)))
+            parts.append(section)
+
+
+def _frame(parts: List[bytes]) -> bytes:
+    body = b"".join(parts)
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+class _Reader:
+    """Bounds-checked sequential reader over one frame body."""
+
+    def __init__(self, body: bytes) -> None:
+        self.body = body
+        self.offset = 0
+
+    def take(self, count: int) -> bytes:
+        end = self.offset + count
+        if count < 0 or end > len(self.body):
+            raise PayloadCorruptedError("frame truncated")
+        chunk = self.body[self.offset:end]
+        self.offset = end
+        return chunk
+
+    def unpack(self, fmt: str) -> Tuple:
+        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
+
+
+def _check_frame(data: bytes) -> _Reader:
+    if len(data) < FIXED_HEADER_BYTES:
+        raise PayloadCorruptedError("frame shorter than the fixed header")
+    body, crc_bytes = data[:-4], data[-4:]
+    (crc,) = struct.unpack("<I", crc_bytes)
+    if zlib.crc32(body) != crc:
+        raise PayloadCorruptedError("frame checksum mismatch")
+    reader = _Reader(body)
+    if reader.take(len(MAGIC)) != MAGIC:
+        raise PayloadCorruptedError("bad frame magic")
+    return reader
+
+
+def _decode_tensors(reader: _Reader, codec: Codec,
+                    reference: Optional[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    (ntensors,) = reader.unpack("<H")
+    state: Dict[str, np.ndarray] = {}
+    for _ in range(ntensors):
+        (name_len,) = reader.unpack("<H")
+        name = reader.take(name_len).decode("utf-8")
+        (dtype_len,) = reader.unpack("<B")
+        dtype = np.dtype(reader.take(dtype_len).decode("ascii"))
+        (ndim,) = reader.unpack("<B")
+        shape = tuple(reader.unpack(f"<{ndim}I"))
+        (nsections,) = reader.unpack("<B")
+        sections = []
+        for _ in range(nsections):
+            (section_len,) = reader.unpack("<I")
+            sections.append(reader.take(section_len))
+        ref = None
+        if codec.needs_reference:
+            if reference is None or name not in reference:
+                raise ValueError(
+                    f"codec {codec.name!r} needs a reference for tensor {name!r}")
+            ref = reference[name]
+        state[name] = codec.decode_array(sections, shape, dtype, reference=ref)
+    return state
+
+
+def _codec_from(reader: _Reader) -> Codec:
+    (codec_len,) = reader.unpack("<B")
+    return get_codec(reader.take(codec_len).decode("ascii"))
+
+
+def encode_update(update, codec: Codec,
+                  reference: Optional[Dict[str, np.ndarray]] = None) -> bytes:
+    """Serialize one :class:`~repro.federated.aggregation.ExpertUpdate`."""
+    codec_bytes = codec.name.encode("ascii")
+    parts: List[bytes] = [
+        MAGIC,
+        struct.pack("<BB", KIND_UPDATE, len(codec_bytes)),
+        codec_bytes,
+        struct.pack("<iiid", int(update.participant_id), int(update.layer),
+                    int(update.expert), float(update.weight)),
+    ]
+    _encode_tensors(parts, codec, update.state, reference)
+    return _frame(parts)
+
+
+def decode_update(data: bytes,
+                  reference: Optional[Dict[str, np.ndarray]] = None,
+                  reference_lookup: Optional[ReferenceLookup] = None):
+    """Inverse of :func:`encode_update`.
+
+    Delta codecs resolve their reference either from ``reference`` directly
+    or via ``reference_lookup(layer, expert)`` (e.g. the parameter server's
+    :meth:`~repro.federated.server.ParameterServer.expert_state`).
+    """
+    from ..federated.aggregation import ExpertUpdate
+
+    reader = _check_frame(data)
+    try:
+        (kind,) = reader.unpack("<B")
+        if kind != KIND_UPDATE:
+            raise PayloadCorruptedError(f"expected an update frame, got kind {kind}")
+        codec = _codec_from(reader)
+        participant_id, layer, expert, weight = reader.unpack("<iiid")
+        if codec.needs_reference and reference is None and reference_lookup is not None:
+            reference = reference_lookup(layer, expert)
+        state = _decode_tensors(reader, codec, reference)
+    except (struct.error, KeyError, UnicodeDecodeError, TypeError) as exc:
+        # The CRC makes this unreachable for in-flight corruption; it guards
+        # against truncated or foreign-writer frames that still checksum.
+        raise PayloadCorruptedError(f"malformed update frame: {exc}") from exc
+    return ExpertUpdate(participant_id=participant_id, layer=layer, expert=expert,
+                        state=state, weight=weight)
+
+
+def encode_state_dict(state: Dict[str, np.ndarray], codec: Codec,
+                      reference: Optional[Dict[str, np.ndarray]] = None) -> bytes:
+    """Serialize a full model (or expert) state dict."""
+    codec_bytes = codec.name.encode("ascii")
+    parts: List[bytes] = [
+        MAGIC,
+        struct.pack("<BB", KIND_STATE_DICT, len(codec_bytes)),
+        codec_bytes,
+    ]
+    _encode_tensors(parts, codec, state, reference)
+    return _frame(parts)
+
+
+def decode_state_dict(data: bytes,
+                      reference: Optional[Dict[str, np.ndarray]] = None
+                      ) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`encode_state_dict`."""
+    reader = _check_frame(data)
+    try:
+        (kind,) = reader.unpack("<B")
+        if kind != KIND_STATE_DICT:
+            raise PayloadCorruptedError(f"expected a state-dict frame, got kind {kind}")
+        codec = _codec_from(reader)
+        return _decode_tensors(reader, codec, reference)
+    except (struct.error, KeyError, UnicodeDecodeError, TypeError) as exc:
+        raise PayloadCorruptedError(f"malformed state-dict frame: {exc}") from exc

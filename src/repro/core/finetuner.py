@@ -10,7 +10,7 @@ server FedAvg-aggregates the uploaded tuning-expert updates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..data import SyntheticDataset
 from ..federated import (

@@ -14,10 +14,9 @@ and role assignment:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
 
 from ..analysis import ActivationProfile
 from ..data import Batch

@@ -12,7 +12,7 @@ vector (and its norm) without any backward pass through the expert.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -15,7 +15,7 @@ concurrently with server aggregation, hiding its latency (Figure 7(b)).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..analysis import ActivationProfile, estimation_error, profile_activation
 from ..data import Batch

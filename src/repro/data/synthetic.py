@@ -22,8 +22,8 @@ topic-block token structure yields skewed, non-IID expert activation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

@@ -9,7 +9,7 @@ that Flux's profiling/merging modules rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 

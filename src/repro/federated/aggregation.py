@@ -8,11 +8,12 @@ expert and writes the result back into the global model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..comm.aggregator import finalize_weighted_sum, fold_weighted_state
 from ..models import MoETransformer
 
 ExpertKey = Tuple[int, int]  # (layer index, expert index)
@@ -35,25 +36,29 @@ class ExpertUpdate:
 
 def fedavg_states(states: Sequence[Dict[str, np.ndarray]],
                   weights: Sequence[float]) -> Dict[str, np.ndarray]:
-    """Weighted average of several identically shaped state dicts."""
+    """Weighted average of several identically shaped state dicts.
+
+    Implemented as a sequential weighted fold over the states (the same
+    :func:`~repro.comm.aggregator.fold_weighted_state` the streaming server
+    path uses), so buffered and streaming aggregation are bit-identical.
+    """
     if not states:
         raise ValueError("cannot average an empty list of states")
     if len(states) != len(weights):
         raise ValueError("one weight per state is required")
-    weights = np.asarray(weights, dtype=np.float64)
-    if np.any(weights < 0):
+    if any(w < 0 for w in weights):
         raise ValueError("aggregation weights must be non-negative")
-    total = weights.sum()
+    total = 0.0
+    for weight in weights:
+        total += float(weight)
     if total <= 0:
-        weights = np.ones(len(states)) / len(states)
-    else:
-        weights = weights / total
-    keys = states[0].keys()
-    averaged: Dict[str, np.ndarray] = {}
-    for key in keys:
-        stacked = np.stack([np.asarray(state[key]) for state in states])
-        averaged[key] = np.tensordot(weights, stacked, axes=1)
-    return averaged
+        # All-zero weights degrade to an unweighted mean (legacy behaviour).
+        weights = [1.0] * len(states)
+        total = float(len(states))
+    acc: Dict[str, np.ndarray] = {}
+    for state, weight in zip(states, weights):
+        fold_weighted_state(acc, state, weight)
+    return finalize_weighted_sum(acc, total)
 
 
 def group_updates(updates: Iterable[ExpertUpdate]) -> Dict[ExpertKey, List[ExpertUpdate]]:

@@ -99,6 +99,24 @@ class Participant:
     def num_samples(self) -> int:
         return len(self.dataset)
 
+    # ------------------------------------------------------------------ wire
+    def make_channel(self, cost_model=None, faults=None, latency_s: float = 0.0):
+        """Build this participant's metered uplink/downlink channel.
+
+        Bandwidth comes from ``cost_model`` (the participant's own when not
+        given); ``faults`` is a
+        :class:`~repro.runtime.faults.ChannelFaultInjector` for payload
+        loss/corruption.
+        """
+        from ..comm import Channel
+
+        return Channel(
+            participant_id=self.participant_id,
+            cost_model=cost_model if cost_model is not None else self.cost_model,
+            faults=faults,
+            latency_s=latency_s,
+        )
+
     def local_batches(self, batch_size: int, max_batches: Optional[int] = None,
                       sample_ids: Optional[Iterable[int]] = None,
                       max_seq_len: Optional[int] = None) -> List[Batch]:

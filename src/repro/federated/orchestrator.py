@@ -25,11 +25,17 @@ import numpy as np
 
 from ..data import SyntheticDataset
 from ..metrics import PerformanceTracker, evaluate_model
-from ..models import MoETransformer
 from ..systems import CostModel, RoundCostBreakdown, RoundTimeline, RunTimeline, SimulatedClock
 from .aggregation import ExpertUpdate
 from .client import Participant
 from .server import ParameterServer
+
+#: default wire codec: lossless for the float64 default models, so enabling
+#: ``transport="wire"`` alone does not change learning dynamics.
+#: ``RunConfig.codec`` keeps ``None`` as "no explicit choice" so methods with
+#: a natural wire format (FMQ ships its quantization bits) can override the
+#: default without clobbering an explicit user selection.
+DEFAULT_WIRE_CODEC = "fp64"
 
 
 @dataclass
@@ -73,6 +79,18 @@ class RunConfig:
     executor: str = "serial"                 # "serial" | "process"
     executor_workers: Optional[int] = None
 
+    # --- comm: wire transport (repro.comm)
+    transport: str = "analytic"              # "analytic" | "wire"
+    codec: Optional[str] = None              # wire codec tag; None = method default
+    streaming_aggregation: bool = False      # fold updates server-side as they arrive
+    channel_loss_prob: float = 0.0           # wire: per-payload loss probability
+    channel_corrupt_prob: float = 0.0        # wire: per-payload corruption probability
+    #: wire: per-payload link latency folded into the *measured* airtime
+    #: (``RoundResult.wire_seconds``); the simulated clock keeps charging the
+    #: methods' analytic communication estimates, so this knob affects
+    #: reporting, not time-to-accuracy
+    channel_latency_s: float = 0.0
+
     def __post_init__(self) -> None:
         if self.scheduler not in ("sync", "semisync", "async"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
@@ -80,13 +98,25 @@ class RunConfig:
             raise ValueError(f"unknown sampler {self.sampler!r}")
         if self.executor not in ("serial", "process"):
             raise ValueError(f"unknown executor {self.executor!r}")
-        for name in ("dropout_prob", "straggler_prob"):
+        if self.transport not in ("analytic", "wire"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        for name in ("dropout_prob", "straggler_prob",
+                     "channel_loss_prob", "channel_corrupt_prob"):
             if not 0.0 <= getattr(self, name) <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
         if self.straggler_slowdown < 1.0:
             raise ValueError("straggler_slowdown must be >= 1")
         if self.buffer_size < 1:
             raise ValueError("buffer_size must be positive")
+        if self.channel_latency_s < 0.0:
+            raise ValueError("channel_latency_s must be non-negative")
+        if self.codec is not None:
+            from ..comm import get_codec
+
+            try:
+                get_codec(self.codec)  # fail fast on unknown codec tags
+            except KeyError as exc:
+                raise ValueError(str(exc)) from exc
 
 
 @dataclass
@@ -117,6 +147,11 @@ class RoundResult:
     num_dropped: int = 0
     num_stragglers: int = 0
     mean_staleness: float = 0.0
+    #: measured wire traffic (all zero under the analytic transport)
+    wire_bytes: float = 0.0
+    wire_seconds: float = 0.0
+    payloads_lost: int = 0
+    payloads_corrupted: int = 0
 
 
 @dataclass
@@ -170,6 +205,7 @@ class FederatedFineTuner(abc.ABC):
         self._participants_by_id = {p.participant_id: p for p in self.participants}
         self._legacy_scheduler = None
         self._legacy_scheduler_key = None
+        self._channels: Dict[int, object] = {}
 
     # ------------------------------------------------------------------ hooks
     @abc.abstractmethod
@@ -214,6 +250,79 @@ class FederatedFineTuner(abc.ABC):
 
     def cost_model_for(self, participant: Participant) -> Optional[CostModel]:
         return self.cost_models.get(participant.participant_id, participant.cost_model)
+
+    # ------------------------------------------------------------ wire transport
+    def wire_codec_name(self) -> str:
+        """Codec tag used for wire-transported updates.
+
+        An explicit :attr:`RunConfig.codec` always wins; with the ``None``
+        default, methods may override this hook to pick their natural wire
+        format (the base default is the lossless :data:`DEFAULT_WIRE_CODEC`).
+        """
+        return self.config.codec or DEFAULT_WIRE_CODEC
+
+    def channel_for(self, participant: Participant):
+        """The participant's metered channel (built lazily, cached per client)."""
+        channel = self._channels.get(participant.participant_id)
+        if channel is None:
+            from ..runtime.faults import ChannelFaultInjector
+
+            channel = participant.make_channel(
+                cost_model=self.cost_model_for(participant),
+                faults=ChannelFaultInjector.from_config(self.config),
+                latency_s=self.config.channel_latency_s,
+            )
+            self._channels[participant.participant_id] = channel
+        return channel
+
+    def transmit_updates(self, participant: Participant,
+                         updates: Sequence[ExpertUpdate]):
+        """Move one participant's updates to the server over the transport.
+
+        Under ``transport="analytic"`` (the default) the in-memory updates
+        pass straight through and nothing is metered — the legacy behaviour.
+        Under ``transport="wire"`` every update is encoded with the run's
+        codec into a framed byte payload, sent over the participant's
+        :class:`~repro.comm.Channel` (charging measured airtime, applying
+        loss/corruption faults) and decoded server-side; lost payloads and
+        frames that fail their checksum never reach aggregation.
+
+        Returns ``(delivered_updates, stats)`` where ``stats`` is a
+        :class:`~repro.comm.ChannelStats` of measured traffic.
+        """
+        from ..comm import (
+            ChannelStats,
+            PayloadCorruptedError,
+            decode_update,
+            encode_update,
+            get_codec,
+        )
+
+        stats = ChannelStats()
+        if self.config.transport != "wire":
+            return list(updates), stats
+        codec = get_codec(self.wire_codec_name())
+        channel = self.channel_for(participant)
+        delivered: List[ExpertUpdate] = []
+        for update in updates:
+            reference = None
+            if codec.needs_reference:
+                # Both endpoints delta against the server's *current* expert
+                # state, fetched once and shared, so the round trip is always
+                # consistent.  Under the sync/semisync schedulers this is also
+                # the state the client downloaded; under async it may have
+                # advanced past the client's stale download, making the top-k
+                # selection delta-vs-latest rather than delta-vs-downloaded.
+                reference = self.server.expert_state(update.layer, update.expert)
+            payload = encode_update(update, codec, reference=reference)
+            record = channel.send(payload, direction="up")
+            stats.record(record)
+            if record.delivered:
+                try:
+                    delivered.append(decode_update(record.payload, reference=reference))
+                except PayloadCorruptedError:
+                    stats.decode_failures += 1
+        return delivered, stats
 
     def evaluate(self) -> float:
         """Evaluate the global model on the held-out test set."""

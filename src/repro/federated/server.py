@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import copy
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List
 
 import numpy as np
 
+from ..comm import StreamingAggregator
 from ..models import MoETransformer
 from .aggregation import ExpertKey, ExpertUpdate, apply_fedavg
 
@@ -16,7 +16,12 @@ class ParameterServer:
 
     The server never sees raw data: participants upload expert parameter
     states (plus scalar statistics such as utilities), and download refreshed
-    expert parameters at the start of the next round.
+    expert parameters at the start of the next round.  Aggregation runs either
+    buffered (the legacy FedAvg path, which keeps every update alive) or
+    *streaming* (``streaming=True``): each update folds into a running
+    weighted sum per expert key as it arrives, so peak server memory is one
+    update plus the running sums — O(1) in the number of clients — while
+    producing bit-identical averages.
     """
 
     def __init__(self, global_model: MoETransformer) -> None:
@@ -43,9 +48,37 @@ class ParameterServer:
         return {key: self.expert_state(*key) for key in keys}
 
     # ------------------------------------------------------------- aggregation
-    def aggregate(self, updates: Iterable[ExpertUpdate]) -> Dict[ExpertKey, int]:
-        """FedAvg the received expert updates into the global model."""
-        contributions = apply_fedavg(self.global_model, updates)
+    def aggregate(self, updates: Iterable[ExpertUpdate],
+                  streaming: bool = False) -> Dict[ExpertKey, int]:
+        """FedAvg the received expert updates into the global model.
+
+        With ``streaming=True`` the updates iterable is consumed one element
+        at a time through a :class:`~repro.comm.StreamingAggregator` — pass a
+        generator and no more than one update is ever buffered server-side.
+        """
+        if streaming:
+            aggregator = StreamingAggregator()
+            aggregator.add_updates(updates)
+            contributions = aggregator.apply(self.global_model)
+        else:
+            contributions = apply_fedavg(self.global_model, updates)
+        for key, count in contributions.items():
+            self.contribution_counts[key] = self.contribution_counts.get(key, 0) + count
+        self.round_index += 1
+        return contributions
+
+    def aggregate_payloads(self, payloads: Iterable[bytes]) -> Dict[ExpertKey, int]:
+        """Streaming aggregation straight from framed wire payloads.
+
+        Each frame is decoded (resolving delta-codec references against the
+        *current* global expert state — i.e. the state clients downloaded)
+        and folded immediately; the model is only mutated once every payload
+        has been folded, so references stay stable throughout.
+        """
+        aggregator = StreamingAggregator()
+        for payload in payloads:
+            aggregator.add_payload(payload, reference_lookup=self.expert_state)
+        contributions = aggregator.apply(self.global_model)
         for key, count in contributions.items():
             self.contribution_counts[key] = self.contribution_counts.get(key, 0) + count
         self.round_index += 1

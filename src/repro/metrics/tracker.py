@@ -15,6 +15,8 @@ class RoundMetric:
     metric_value: float     # ROUGE-L or accuracy
     relative_accuracy: float
     train_loss: Optional[float] = None
+    #: measured wire payload bytes this round (0 under the analytic transport)
+    comm_bytes: float = 0.0
 
 
 @dataclass
@@ -29,7 +31,7 @@ class PerformanceTracker:
     history: List[RoundMetric] = field(default_factory=list)
 
     def record(self, round_index: int, simulated_time: float, metric_value: float,
-               train_loss: Optional[float] = None) -> RoundMetric:
+               train_loss: Optional[float] = None, comm_bytes: float = 0.0) -> RoundMetric:
         """Append one round's result."""
         entry = RoundMetric(
             round_index=round_index,
@@ -37,6 +39,7 @@ class PerformanceTracker:
             metric_value=metric_value,
             relative_accuracy=metric_value / self.target if self.target > 0 else 0.0,
             train_loss=train_loss,
+            comm_bytes=comm_bytes,
         )
         self.history.append(entry)
         return entry
@@ -62,6 +65,10 @@ class PerformanceTracker:
     def reached_target(self) -> bool:
         return self.time_to_target() is not None
 
+    def total_comm_bytes(self) -> float:
+        """Measured wire traffic over the whole run."""
+        return sum(m.comm_bytes for m in self.history)
+
     def times(self) -> List[float]:
         return [m.simulated_time for m in self.history]
 
@@ -80,6 +87,7 @@ class PerformanceTracker:
                 "metric": round(m.metric_value, 4),
                 "relative_accuracy": round(m.relative_accuracy, 4),
                 "train_loss": None if m.train_loss is None else round(m.train_loss, 4),
+                "comm_bytes": round(m.comm_bytes, 1),
             }
             for m in self.history
         ]

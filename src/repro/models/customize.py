@@ -12,9 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Union
 
-import numpy as np
 
-from .config import MoEModelConfig
 from .transformer import MoETransformer
 
 ExpsConfig = Union[int, Sequence[int], Dict[int, int]]

@@ -36,7 +36,7 @@ cannot be batched (e.g. LoRA-wrapped or shape-heterogeneous experts).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ The model exposes the hooks Flux needs:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

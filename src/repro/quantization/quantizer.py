@@ -64,6 +64,53 @@ def dequantize_array(quantized: QuantizedArray) -> np.ndarray:
     return quantized.dequantize()
 
 
+#: bit widths whose codes pack densely into whole bytes (wire transport)
+PACKABLE_BITS = (2, 4, 8)
+
+
+def pack_int_codes(codes: np.ndarray, bits: int) -> bytes:
+    """Pack signed quantization codes densely at ``bits`` per value.
+
+    Codes are shifted by ``2**(bits-1)`` into unsigned range and packed
+    little-end-first within each byte (the first value occupies the lowest
+    bits).  Only byte-aligned widths are supported; 3-bit codes stay an
+    in-memory-only format.
+    """
+    if bits not in PACKABLE_BITS:
+        raise ValueError(f"cannot byte-pack {bits}-bit codes; packable: {PACKABLE_BITS}")
+    offset = 1 << (bits - 1)
+    flat = codes.astype(np.int64).reshape(-1) + offset
+    if flat.size and (flat.min() < 0 or flat.max() >= (1 << bits)):
+        raise ValueError(f"codes outside the {bits}-bit range")
+    values = flat.astype(np.uint8)
+    per_byte = 8 // bits
+    if per_byte == 1:
+        return values.tobytes()
+    pad = (-values.size) % per_byte
+    if pad:
+        values = np.concatenate([values, np.zeros(pad, dtype=np.uint8)])
+    packed = np.zeros(values.size // per_byte, dtype=np.uint8)
+    for slot in range(per_byte):
+        packed |= values[slot::per_byte] << (slot * bits)
+    return packed.tobytes()
+
+
+def unpack_int_codes(data: bytes, bits: int, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_int_codes`: recover ``count`` signed codes."""
+    if bits not in PACKABLE_BITS:
+        raise ValueError(f"cannot byte-unpack {bits}-bit codes; packable: {PACKABLE_BITS}")
+    per_byte = 8 // bits
+    raw = np.frombuffer(data, dtype=np.uint8)
+    if raw.size * per_byte < count:
+        raise ValueError("packed payload too short for the declared code count")
+    values = np.zeros(raw.size * per_byte, dtype=np.uint8)
+    mask = (1 << bits) - 1
+    for slot in range(per_byte):
+        values[slot::per_byte] = (raw >> (slot * bits)) & mask
+    offset = 1 << (bits - 1)
+    return values[:count].astype(np.int32) - offset
+
+
 def quantization_error(weights: np.ndarray, bits: int) -> float:
     """Relative L2 reconstruction error introduced by quantizing ``weights``."""
     reconstructed = quantize_array(weights, bits).dequantize()

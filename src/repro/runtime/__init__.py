@@ -17,7 +17,13 @@ from .executor import (
     SerialExecutor,
     make_executor,
 )
-from .faults import FaultInjector, FaultOutcome, scale_breakdown
+from .faults import (
+    ChannelFaultInjector,
+    ChannelFaultOutcome,
+    FaultInjector,
+    FaultOutcome,
+    scale_breakdown,
+)
 from .sampling import (
     AvailabilityTraceSampler,
     ClientSampler,
@@ -44,6 +50,8 @@ __all__ = [
     "make_sampler",
     "FaultInjector",
     "FaultOutcome",
+    "ChannelFaultInjector",
+    "ChannelFaultOutcome",
     "scale_breakdown",
     "ParticipantExecutor",
     "SerialExecutor",

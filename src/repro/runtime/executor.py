@@ -24,15 +24,37 @@ import abc
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..comm import decode_update, encode_update, get_codec
 from ..federated.client import Participant
+
+#: codec used to frame updates crossing the process boundary — lossless for
+#: every float dtype, so parallel execution stays bit-identical to serial
+_IPC_CODEC = "fp64"
+
+
+def _frame_result(result) -> Tuple[object, List[bytes]]:
+    """Split one round result into (update-less result, framed update payloads).
+
+    The worker→parent hop is the wire serializer's first real consumer: expert
+    updates travel as framed byte payloads rather than pickled numpy state
+    dicts, exactly the representation a remote deployment would ship.
+    """
+    codec = get_codec(_IPC_CODEC)
+    frames = [encode_update(update, codec) for update in result.updates]
+    return replace(result, updates=[]), frames
+
+
+def _unframe_result(result, frames: Sequence[bytes]):
+    return replace(result, updates=[decode_update(frame) for frame in frames])
 
 
 def _run_participant_chunk(payload: bytes, participant_ids: Sequence[int],
-                           round_index: int) -> List[Tuple[int, object, dict]]:
+                           round_index: int) -> List[Tuple[int, object, List[bytes], dict]]:
     """Worker-side: run a chunk of participants' rounds on one tuner snapshot.
 
     Chunking means the (potentially large) tuner payload crosses the process
@@ -45,7 +67,9 @@ def _run_participant_chunk(payload: bytes, participant_ids: Sequence[int],
     for participant_id in participant_ids:
         participant = tuner.participant_by_id(participant_id)
         result = tuner.participant_round(participant, round_index)
-        out.append((participant_id, result, tuner.export_participant_state(participant_id)))
+        stripped, frames = _frame_result(result)
+        out.append((participant_id, stripped, frames,
+                    tuner.export_participant_state(participant_id)))
     return out
 
 
@@ -123,9 +147,9 @@ class ProcessPoolParticipantExecutor(ParticipantExecutor):
                    for chunk in chunks if chunk]
         collected: Dict[int, object] = {}
         for future in futures:
-            for participant_id, result, state in future.result():
+            for participant_id, result, frames, state in future.result():
                 tuner.import_participant_state(participant_id, state)
-                collected[participant_id] = result
+                collected[participant_id] = _unframe_result(result, frames)
         return {pid: collected[pid] for pid in ids}  # preserve participants order
 
     def close(self) -> None:

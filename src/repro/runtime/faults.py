@@ -16,7 +16,7 @@ and process-pool executors see identical faults.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -93,5 +93,78 @@ class FaultInjector:
             dropout_prob=getattr(config, "dropout_prob", 0.0),
             straggler_prob=getattr(config, "straggler_prob", 0.0),
             straggler_slowdown=getattr(config, "straggler_slowdown", 4.0),
+            seed=getattr(config, "seed", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ChannelFaultOutcome:
+    """What the channel injector decided for one payload."""
+
+    lost: bool = False
+    corrupted: bool = False
+
+
+@dataclass
+class ChannelFaultInjector:
+    """Seeded per-payload loss and corruption for wire transport.
+
+    The same determinism contract as :class:`FaultInjector`: every draw comes
+    from ``(seed, participant, payload sequence number)``, so wire faults
+    replay identically run-to-run and independently of execution order.  A
+    lost payload never reaches the server; a corrupted one arrives with
+    flipped bytes and is caught by the frame checksum
+    (:class:`~repro.comm.serialization.PayloadCorruptedError`).
+    """
+
+    loss_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("loss_prob", "corrupt_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @property
+    def active(self) -> bool:
+        return self.loss_prob > 0.0 or self.corrupt_prob > 0.0
+
+    def _rng(self, salt: int, sequence: int, participant_id: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed & 0xFFFFFFFF, salt,
+                                    int(sequence), int(participant_id)]))
+
+    def outcome(self, sequence: int, participant_id: int) -> ChannelFaultOutcome:
+        """The (deterministic) fate of one payload on one participant's link."""
+        if not self.active:
+            return ChannelFaultOutcome()
+        loss_draw, corrupt_draw = self._rng(0xC4A7, sequence, participant_id).random(2)
+        if loss_draw < self.loss_prob:
+            return ChannelFaultOutcome(lost=True)
+        if corrupt_draw < self.corrupt_prob:
+            return ChannelFaultOutcome(corrupted=True)
+        return ChannelFaultOutcome()
+
+    def corrupt(self, payload: bytes, sequence: int, participant_id: int) -> bytes:
+        """Flip a few bytes of ``payload`` (deterministically per sequence)."""
+        if not payload:
+            return payload
+        rng = self._rng(0xBADD, sequence, participant_id)
+        data = bytearray(payload)
+        flips = max(1, len(data) // 4096)
+        # Distinct positions: XOR flips at a repeated position would cancel
+        # out and deliver the payload byte-identical despite being counted
+        # as corrupted.
+        for position in rng.choice(len(data), size=min(flips, len(data)), replace=False):
+            data[int(position)] ^= 0xFF
+        return bytes(data)
+
+    @classmethod
+    def from_config(cls, config) -> "ChannelFaultInjector":
+        return cls(
+            loss_prob=getattr(config, "channel_loss_prob", 0.0),
+            corrupt_prob=getattr(config, "channel_corrupt_prob", 0.0),
             seed=getattr(config, "seed", 0),
         )

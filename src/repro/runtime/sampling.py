@@ -15,7 +15,7 @@ so identical configs yield identical selections.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 

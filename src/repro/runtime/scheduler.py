@@ -39,7 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..federated.aggregation import ExpertUpdate
+from ..comm import ChannelStats
 from ..federated.client import Participant
 from ..federated.orchestrator import (
     FederatedFineTuner,
@@ -92,6 +92,7 @@ class Scheduler(abc.ABC):
                     simulated_time=round_result.simulated_time,
                     metric_value=round_result.metric_value,
                     train_loss=round_result.train_loss,
+                    comm_bytes=round_result.wire_bytes,
                 )
                 if stop_at_target and round_result.metric_value >= goal:
                     break
@@ -149,21 +150,36 @@ class Scheduler(abc.ABC):
     def _aggregate_round(self, tuner: FederatedFineTuner, round_index: int,
                          timeline: RoundTimeline,
                          contributors: Sequence[Tuple[Participant, ParticipantRoundResult]]
-                         ) -> Tuple[Dict[int, ParticipantRoundResult], List[float]]:
-        """FedAvg the contributors into the global model and fill ``timeline``."""
+                         ) -> Tuple[Dict[int, ParticipantRoundResult], List[float],
+                                    ChannelStats]:
+        """Aggregate the contributors into the global model and fill ``timeline``.
+
+        Updates flow through :meth:`FederatedFineTuner.transmit_updates` — a
+        pass-through under the analytic transport, framed/metered/faultable
+        byte payloads under ``transport="wire"`` — and reach the server as a
+        generator, so with ``streaming_aggregation=True`` no more than one
+        client's decoded updates are ever buffered server-side.
+        """
         results: Dict[int, ParticipantRoundResult] = {}
-        all_updates: List[ExpertUpdate] = []
         losses: List[float] = []
-        for participant, result in contributors:
-            results[participant.participant_id] = result
-            timeline.record_participant(participant.participant_id, result.breakdown,
-                                        overlap_profiling=result.overlap_profiling)
-            all_updates.extend(result.updates)
-            losses.append(result.train_loss)
-        tuner.server.aggregate(all_updates)
-        timeline.server_time = tuner._server_aggregation_time(len(all_updates))
+        stats = ChannelStats()
+
+        def delivered_updates():
+            for participant, result in contributors:
+                results[participant.participant_id] = result
+                timeline.record_participant(participant.participant_id, result.breakdown,
+                                            overlap_profiling=result.overlap_profiling)
+                losses.append(result.train_loss)
+                updates, transfer_stats = tuner.transmit_updates(participant, result.updates)
+                stats.merge(transfer_stats)
+                yield from updates
+
+        streaming = tuner.config.streaming_aggregation
+        contributions = tuner.server.aggregate(delivered_updates(), streaming=streaming)
+        num_updates = sum(contributions.values())
+        timeline.server_time = tuner._server_aggregation_time(num_updates)
         tuner.after_aggregation(round_index, results)
-        return results, losses
+        return results, losses, stats
 
     @staticmethod
     def _result_duration(result: ParticipantRoundResult) -> float:
@@ -186,7 +202,7 @@ class SyncScheduler(Scheduler):
         """Execute one synchronous federated round."""
         selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
         timeline = RoundTimeline(round_index=round_index)
-        results, losses = self._aggregate_round(
+        results, losses, wire = self._aggregate_round(
             tuner, round_index, timeline,
             [(participant, result) for participant, result, _, _ in entries])
 
@@ -203,6 +219,10 @@ class SyncScheduler(Scheduler):
             num_aggregated=len(results),
             num_dropped=num_dropped,
             num_stragglers=sum(1 for _, _, _, fault in entries if fault.is_straggler),
+            wire_bytes=wire.total_bytes,
+            wire_seconds=wire.seconds,
+            payloads_lost=wire.lost,
+            payloads_corrupted=wire.corrupted,
         )
         return round_result, results
 
@@ -250,7 +270,7 @@ class SemiSyncScheduler(Scheduler):
         num_stragglers = len(queue)
 
         timeline = RoundTimeline(round_index=round_index)
-        results, losses = self._aggregate_round(tuner, round_index, timeline, arrivals)
+        results, losses, wire = self._aggregate_round(tuner, round_index, timeline, arrivals)
 
         duration = deadline + timeline.server_time
         timeline.duration_override = duration
@@ -266,6 +286,10 @@ class SemiSyncScheduler(Scheduler):
             num_aggregated=len(results),
             num_dropped=num_dropped,
             num_stragglers=num_stragglers,
+            wire_bytes=wire.total_bytes,
+            wire_seconds=wire.seconds,
+            payloads_lost=wire.lost,
+            payloads_corrupted=wire.corrupted,
         )
 
 
@@ -400,7 +424,7 @@ class AsyncScheduler(Scheduler):
             contributors.append((entry["participant"], discounted))
 
         timeline = RoundTimeline(round_index=version)
-        _, losses = self._aggregate_round(tuner, version, timeline, contributors)
+        _, losses, wire = self._aggregate_round(tuner, version, timeline, contributors)
 
         duration = max(now + timeline.server_time - last_aggregation_time, 0.0)
         timeline.duration_override = duration
@@ -416,6 +440,10 @@ class AsyncScheduler(Scheduler):
             num_aggregated=len(buffer),
             num_dropped=num_dropped,
             mean_staleness=float(np.mean(stalenesses)) if stalenesses else 0.0,
+            wire_bytes=wire.total_bytes,
+            wire_seconds=wire.seconds,
+            payloads_lost=wire.lost,
+            payloads_corrupted=wire.corrupted,
         )
 
 

@@ -14,7 +14,7 @@ the learning dynamics run on the mini models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .device import DeviceProfile

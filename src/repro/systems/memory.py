@@ -10,7 +10,6 @@ round-time constraint).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..models.config import ArchitectureDescriptor, MoEModelConfig
 from .device import DeviceProfile

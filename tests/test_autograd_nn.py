@@ -10,7 +10,6 @@ from repro.autograd import (
     Linear,
     Module,
     ModuleList,
-    Parameter,
     RMSNorm,
     Sequential,
     Tensor,

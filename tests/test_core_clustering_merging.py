@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis import output_error, profile_activation
 from repro.core import (
-    FluxConfig,
     build_compact_model,
     cluster_experts,
     merge_cluster,
@@ -13,7 +12,6 @@ from repro.core import (
     pca_reduce,
     plan_compact_model,
 )
-from repro.models import MoETransformer
 
 
 @pytest.fixture()

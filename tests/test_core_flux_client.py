@@ -7,7 +7,6 @@ from repro.core import FluxConfig, FluxClientState
 from repro.core.assignment import RoleAssignment
 from repro.data import make_gsm8k_like
 from repro.federated import Participant, ParticipantResources
-from repro.models import MoETransformer
 from repro.models.presets import ARCHITECTURE_DESCRIPTORS
 from repro.systems import CONSUMER_GPU, CostModel, MemoryModel
 

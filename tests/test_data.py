@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.data import (
     DATASET_SPECS,
     IGNORE_INDEX,
-    Sample,
     SyntheticTaskGenerator,
     TaskType,
     Vocabulary,

@@ -1,11 +1,9 @@
 """Edge-case and failure-injection tests across the stack."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     ExpertRoleAssigner,
-    FluxConfig,
     FluxFineTuner,
     QuantizedProfiler,
     build_compact_model,

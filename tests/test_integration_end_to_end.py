@@ -1,6 +1,5 @@
 """End-to-end integration tests: multi-round federated runs across methods/datasets."""
 
-import numpy as np
 import pytest
 
 from repro import (

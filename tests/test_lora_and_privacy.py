@@ -5,13 +5,7 @@ import pytest
 
 from repro.autograd import Adam, Linear, Tensor
 from repro.federated import ExpertUpdate, GaussianMechanism, epsilon_estimate
-from repro.models import (
-    LoRAExpert,
-    LoRALinear,
-    MoETransformer,
-    apply_lora_to_experts,
-    lora_parameter_savings,
-)
+from repro.models import LoRALinear, MoETransformer, apply_lora_to_experts, lora_parameter_savings
 
 
 class TestLoRALinear:

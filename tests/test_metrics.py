@@ -1,6 +1,5 @@
 """Tests for ROUGE-L, model evaluation and the time-to-accuracy tracker."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -14,7 +13,7 @@ from repro.metrics import (
     relative_accuracy,
     rouge_l,
 )
-from repro.models import MoETransformer, tiny_moe
+from repro.models import MoETransformer
 
 
 class TestRougeL:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.autograd import Adam
-from repro.models import MoEModelConfig, MoETransformer, tiny_moe
+from repro.models import MoEModelConfig, MoETransformer
 
 
 @pytest.fixture()

@@ -7,8 +7,6 @@ from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.analysis import output_error, profile_activation
-from repro.data import make_batches
-from repro.models import MoETransformer
 from repro.quantization import (
     SUPPORTED_BITS,
     quantization_error,

@@ -19,7 +19,6 @@ from repro.runtime import (
     AvailabilityTraceSampler,
     EventQueue,
     FaultInjector,
-    ProcessPoolParticipantExecutor,
     ResourceAwareSampler,
     SemiSyncScheduler,
     SyncScheduler,
@@ -495,7 +494,7 @@ class TestFluxUnderRuntime:
             assert a.simulated_time == b.simulated_time
         # Flux per-client state (utility EMA) must have been replayed too.
         baseline_states = self._flux_tuner(vocab, tiny_config)
-        serial_again = baseline_states.run(num_rounds=2)
+        baseline_states.run(num_rounds=2)
         for pid, state in parallel_tuner.states.items():
             expected = baseline_states.states[pid].utilities.as_dict()
             assert state.utilities.as_dict() == expected

@@ -1,6 +1,5 @@
 """Tests for the device, memory, cost-model and timeline substrate."""
 
-import numpy as np
 import pytest
 
 from repro.models.presets import ARCHITECTURE_DESCRIPTORS
