@@ -1,0 +1,164 @@
+"""CI resume-smoke: kill a federated run mid-flight, resume it, assert equality.
+
+Three phases:
+
+1. **reference** — an uninterrupted ``NUM_ROUNDS``-round run (in-process).
+2. **kill** — the same run re-launched as a *subprocess* with checkpointing
+   enabled; the child hard-exits via ``os._exit`` (no cleanup, no atexit —
+   the closest a Python process gets to SIGKILL) at the start of round
+   ``KILL_AT_ROUND``.  Only the on-disk snapshot survives.
+3. **resume** — a fresh tuner resumes from the latest surviving snapshot and
+   finishes the run; its :class:`~repro.federated.RunResult` and final model
+   parameters must match the reference *exactly*.
+
+Exit status 0 on success, 1 on any mismatch.  Used by the nightly CI job,
+which also uploads the surviving checkpoint directory as an artifact::
+
+    python scripts/resume_smoke.py --workdir resume-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(REPO_ROOT, "src")):
+    sys.path.append(os.path.join(REPO_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import (  # noqa: E402
+    FMDFineTuner,
+    MoETransformer,
+    ParameterServer,
+    Participant,
+    ParticipantResources,
+    RunConfig,
+    Vocabulary,
+    make_gsm8k_like,
+    partition_dirichlet,
+    tiny_moe,
+)
+from repro.runtime import latest_checkpoint  # noqa: E402
+
+NUM_ROUNDS = 4
+CHECKPOINT_EVERY = 2
+KILL_AT_ROUND = 3  # after the round-2 snapshot, before the run completes
+
+
+def build_tuner(checkpoint_dir: str | None = None, kill_at: int | None = None):
+    vocab = Vocabulary(size=96, num_topics=4)
+    config = tiny_moe(vocab_size=vocab.size)
+    dataset = make_gsm8k_like(vocab=vocab, num_samples=160, seed=3)
+    train, test = dataset.split(seed=3)
+    shards = partition_dirichlet(train, 8, alpha=0.5, seed=3)
+    participants = [
+        Participant(pid, train.subset(shard),
+                    resources=ParticipantResources(max_experts=8, max_tuning_experts=4),
+                    seed=3 + pid)
+        for pid, shard in enumerate(shards)
+    ]
+    run_config = RunConfig(
+        batch_size=8, max_local_batches=1, eval_max_samples=16, seed=3,
+        participants_per_round=4,
+        num_shards=2, num_edge_aggregators=2, aggregation="trimmed_mean",
+        trim_ratio=0.2,
+        checkpoint_every=CHECKPOINT_EVERY if checkpoint_dir else 0,
+        checkpoint_dir=checkpoint_dir,
+    )
+    server = ParameterServer(MoETransformer(config))
+
+    if kill_at is None:
+        return FMDFineTuner(server, participants, test, config=run_config)
+
+    class KilledMidFlight(FMDFineTuner):
+        def before_round(self, round_index, selected):
+            if round_index == kill_at:
+                # Bypass every Python-level cleanup path, like a SIGKILL or
+                # OOM would: the only state that survives is what the
+                # checkpointer already put on disk.
+                os._exit(137)
+            super().before_round(round_index, selected)
+
+    return KilledMidFlight(server, participants, test, config=run_config)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="resume-smoke",
+                        help="directory for checkpoints (uploaded as a CI artifact)")
+    parser.add_argument("--phase", choices=["main", "killed-child"], default="main",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    checkpoint_dir = os.path.join(args.workdir, "checkpoints")
+
+    if args.phase == "main" and os.path.isdir(checkpoint_dir):
+        # A stale checkpoint from a previous invocation would let the resume
+        # phase restore a *completed* run (zero rounds executed) and print a
+        # vacuous PASS — every run must start from an empty snapshot dir.
+        shutil.rmtree(checkpoint_dir)
+
+    if args.phase == "killed-child":
+        build_tuner(checkpoint_dir, kill_at=KILL_AT_ROUND).run(num_rounds=NUM_ROUNDS)
+        print("child: run completed without dying?!", flush=True)
+        return 1  # the kill switch must have fired before this point
+
+    print(f"[1/3] reference: uninterrupted {NUM_ROUNDS}-round run", flush=True)
+    reference_tuner = build_tuner()
+    reference = reference_tuner.run(num_rounds=NUM_ROUNDS)
+
+    print(f"[2/3] kill: subprocess dies mid round {KILL_AT_ROUND} "
+          f"(snapshots every {CHECKPOINT_EVERY} rounds)", flush=True)
+    child = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--workdir", args.workdir, "--phase", "killed-child"],
+        cwd=REPO_ROOT)
+    if child.returncode != 137:
+        print(f"FAIL: expected the child to die with os._exit(137), "
+              f"got {child.returncode}")
+        return 1
+
+    snapshot = latest_checkpoint(checkpoint_dir)
+    if snapshot is None:
+        print(f"FAIL: no surviving checkpoint under {checkpoint_dir}")
+        return 1
+    print(f"[3/3] resume: from {os.path.basename(snapshot)} "
+          f"to round {NUM_ROUNDS}", flush=True)
+    resumed_tuner = build_tuner(checkpoint_dir)
+    resumed = resumed_tuner.run(num_rounds=NUM_ROUNDS, resume_from=snapshot)
+
+    failures = []
+    if resumed.tracker.as_series() != reference.tracker.as_series():
+        failures.append("metric history differs")
+    if len(resumed.rounds) != len(reference.rounds):
+        failures.append("round counts differ")
+    for got, want in zip(resumed.rounds, reference.rounds):
+        for field_name in ("train_loss", "metric_value", "simulated_time",
+                           "round_duration", "num_aggregated", "edge_bytes"):
+            if getattr(got, field_name) != getattr(want, field_name):
+                failures.append(
+                    f"round {want.round_index}: {field_name} "
+                    f"{getattr(got, field_name)!r} != {getattr(want, field_name)!r}")
+    ref_state = reference_tuner.server.global_model.state_dict()
+    res_state = resumed_tuner.server.global_model.state_dict()
+    for name in ref_state:
+        if not np.array_equal(ref_state[name], res_state[name]):
+            failures.append(f"model parameter {name} differs")
+
+    if failures:
+        print("FAIL: resumed run does not match the uninterrupted reference:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"PASS: killed-then-resumed run is identical to the uninterrupted "
+          f"reference ({len(resumed.rounds)} rounds, "
+          f"final metric {resumed.final_metric():.3f})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,11 +71,15 @@ from .data import (
 )
 from .federated import (
     FederatedFineTuner,
+    HierarchicalTopology,
     ParameterServer,
     Participant,
     ParticipantResources,
     RunConfig,
     RunResult,
+    ShardedParameterServer,
+    available_strategies,
+    get_strategy,
 )
 from .metrics import PerformanceTracker, evaluate_model
 from .runtime import (
@@ -131,6 +135,10 @@ __all__ = [
     "Participant",
     "ParticipantResources",
     "ParameterServer",
+    "ShardedParameterServer",
+    "HierarchicalTopology",
+    "get_strategy",
+    "available_strategies",
     "FederatedFineTuner",
     "RunConfig",
     "RunResult",

@@ -5,6 +5,14 @@ All baselines reuse the round loop of
 small pieces they share — turning a locally trained model's experts into
 federated :class:`~repro.federated.aggregation.ExpertUpdate` objects and
 building the participant communication plan.
+
+Because the baselines only implement ``participant_round``, they inherit the
+whole server-side aggregation topology for free: their updates aggregate
+under whatever :class:`~repro.federated.strategies.AggregationStrategy`,
+shard count and edge tier :class:`~repro.federated.RunConfig` selects, and
+their runs checkpoint/resume through :mod:`repro.runtime.checkpoint` with no
+method-specific state to capture (all baseline cross-round state lives in
+the participants' batch seeds, which the checkpoint layer already snapshots).
 """
 
 from __future__ import annotations

@@ -2,14 +2,21 @@
 
 The buffered FedAvg path keeps every client's update alive until the round
 closes — O(clients) server memory.  :class:`StreamingAggregator` instead folds
-each update into a running weighted sum per expert key the moment it arrives,
-so peak server memory is one update plus the running sums, independent of how
-many clients contributed.
+each update into a per-expert accumulator the moment it arrives; under the
+default FedAvg strategy the accumulator is a running weighted sum, so peak
+server memory is one update plus the running sums, independent of how many
+clients contributed.
 
 Bit-identity with the buffered path is guaranteed structurally:
 :func:`repro.federated.aggregation.fedavg_states` is implemented on top of the
 same :func:`fold_weighted_state` / :func:`finalize_weighted_sum` pair, folding
 in the same arrival order.
+
+The aggregator is strategy-aware (:mod:`repro.federated.strategies`): pass a
+strategy name or instance and every expert key folds through that strategy's
+accumulator instead.  Order statistics (``trimmed_mean``, ``median``) buffer
+their contributions per key — streaming then bounds memory per *expert*, not
+per run.
 """
 
 from __future__ import annotations
@@ -47,40 +54,52 @@ def finalize_weighted_sum(acc: Dict[str, np.ndarray],
 
 
 class StreamingAggregator:
-    """Folds expert updates one at a time into per-expert running sums.
+    """Folds expert updates one at a time into per-expert accumulators.
 
-    Unlike the buffered path, all-zero weights cannot fall back to a uniform
+    ``strategy`` selects the per-expert reduction
+    (:mod:`repro.federated.strategies`); ``None`` is weighted FedAvg, whose
+    fold is bit-identical to the historical implementation.  Unlike the
+    buffered path, all-zero FedAvg weights cannot fall back to a uniform
     average (the individual states are gone by finalize time); feeding only
     zero-weight updates for a key raises at :meth:`finalize`.
     """
 
-    def __init__(self) -> None:
-        self._sums: Dict[ExpertKey, Dict[str, np.ndarray]] = {}
-        self._weights: Dict[ExpertKey, float] = {}
-        self._counts: Dict[ExpertKey, int] = {}
+    def __init__(self, strategy=None) -> None:
+        # Late import: repro.federated.strategies imports the fold primitives
+        # from this module at load time, so the dependency must stay one-way
+        # at import time and resolve here at construction time.
+        from ..federated.strategies import get_strategy
+
+        self.strategy = get_strategy(strategy if strategy is not None else "fedavg")
+        self._accs: Dict[ExpertKey, object] = {}
 
     def __len__(self) -> int:
-        return len(self._sums)
+        return len(self._accs)
 
     @property
     def num_updates(self) -> int:
-        return sum(self._counts.values())
+        return sum(acc.count for acc in self._accs.values())
 
     def contributions(self) -> Dict[ExpertKey, int]:
         """Updates folded so far, per expert key."""
-        return dict(self._counts)
+        return {key: acc.count for key, acc in self._accs.items()}
+
+    def total_weight(self, key: ExpertKey) -> float:
+        """Sum of the (possibly discounted) weights folded for ``key``."""
+        return self._accs[key].total_weight
 
     # ------------------------------------------------------------------ folding
     def add_state(self, key: ExpertKey, state: Dict[str, np.ndarray],
-                  weight: float) -> None:
-        acc = self._sums.setdefault(key, {})
-        fold_weighted_state(acc, state, weight)
-        self._weights[key] = self._weights.get(key, 0.0) + float(weight)
-        self._counts[key] = self._counts.get(key, 0) + 1
+                  weight: float, staleness: int = 0) -> None:
+        acc = self._accs.get(key)
+        if acc is None:
+            acc = self._accs[key] = self.strategy.make_accumulator()
+        acc.add(state, weight, staleness=staleness)
 
     def add(self, update) -> None:
         """Fold one :class:`~repro.federated.aggregation.ExpertUpdate`."""
-        self.add_state(update.key, update.state, update.weight)
+        self.add_state(update.key, update.state, update.weight,
+                       staleness=getattr(update, "staleness", 0))
 
     def add_updates(self, updates: Iterable) -> None:
         for update in updates:
@@ -96,13 +115,20 @@ class StreamingAggregator:
         return update
 
     # --------------------------------------------------------------- finalizing
-    def finalize(self) -> Dict[ExpertKey, Dict[str, np.ndarray]]:
-        """Averaged state per expert key (leaves the aggregator intact)."""
-        return {key: finalize_weighted_sum(acc, self._weights[key])
-                for key, acc in self._sums.items()}
+    def finalize(self, skip_unfinalizable: bool = False
+                 ) -> Dict[ExpertKey, Dict[str, np.ndarray]]:
+        """Aggregated state per expert key (leaves the aggregator intact).
+
+        ``skip_unfinalizable=True`` silently drops keys whose accumulator
+        cannot produce a result — under FedAvg, keys that received only
+        zero-weight contributions (the states are gone, so no uniform-mean
+        fallback is possible) — instead of raising.
+        """
+        return {key: acc.finalize() for key, acc in self._accs.items()
+                if not skip_unfinalizable or getattr(acc, "finalizable", True)}
 
     def apply(self, model) -> Dict[ExpertKey, int]:
-        """Write the averaged experts into ``model``; returns contributions."""
-        for (layer, expert), averaged in self.finalize().items():
-            model.load_expert_state(layer, expert, averaged)
+        """Write the aggregated experts into ``model``; returns contributions."""
+        for (layer, expert), aggregated in self.finalize().items():
+            model.load_expert_state(layer, expert, aggregated)
         return self.contributions()

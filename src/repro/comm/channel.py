@@ -18,7 +18,7 @@ wire measurements can disagree with them without double-charging time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 
@@ -103,6 +103,22 @@ class Channel:
         if bandwidth is None:
             return self.latency_s
         return self.latency_s + nbytes / bandwidth
+
+    def export_state(self) -> dict:
+        """Picklable resume state: the payload sequence position and stats.
+
+        The sequence number keys the channel fault stream, so restoring it
+        resumes loss/corruption draws exactly where an interrupted run left
+        them (used by :mod:`repro.runtime.checkpoint`).  Stats are copied on
+        both export and import, so a snapshot is a true point-in-time capture
+        and two channels never alias one counter object.
+        """
+        return {"sequence": self._sequence, "stats": replace(self.stats)}
+
+    def import_state(self, state: dict) -> None:
+        """Restore an :meth:`export_state` snapshot."""
+        self._sequence = int(state["sequence"])
+        self.stats = replace(state["stats"])
 
     def send(self, payload: bytes, direction: str = "up") -> TransferRecord:
         """Transfer one framed payload, applying any configured faults.

@@ -13,7 +13,10 @@ Frame layout (all integers little-endian)::
 
 The trailing CRC covers the whole frame — header fields included — so any
 single flipped bit surfaces as :class:`PayloadCorruptedError` instead of a
-silently mis-addressed or mis-valued update.  Tensor *values* travel in
+silently mis-addressed or mis-valued update.  The participant id is signed
+on purpose: edge aggregators (:mod:`repro.federated.topology`) frame their
+pre-folded partial aggregates with negative pseudo-ids (``-(edge + 1)``) so
+both hops of a hierarchy speak the same wire format.  Tensor *values* travel in
 whatever sections the frame's :class:`~repro.comm.codecs.Codec` produced;
 shape and source dtype always travel in the clear so the receiver can
 reconstruct without out-of-band metadata.

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
+import numpy as np
+
 from ..data import SyntheticDataset
 from ..federated import (
     FederatedFineTuner,
@@ -96,6 +98,24 @@ class FluxFineTuner(FederatedFineTuner):
                 "epsilon": assignment.epsilon,
             },
         )
+
+    # ------------------------------------------------------------- run state
+    def export_run_state(self) -> Dict:
+        """Flux's method-level cross-round state: the role-assignment RNG.
+
+        The ε-greedy explorer draws from the assigner's private generator
+        every round, so a resumed run must continue that stream exactly where
+        the interrupted run left it (per-client profiling caches and
+        utilities travel with :meth:`export_participant_state`).
+        """
+        state = super().export_run_state()
+        state["assigner_rng"] = self.assigner._rng.bit_generator.state
+        return state
+
+    def import_run_state(self, state: Dict) -> None:
+        super().import_run_state(state)
+        self.assigner._rng = np.random.default_rng()
+        self.assigner._rng.bit_generator.state = state["assigner_rng"]
 
     # ------------------------------------------------------- participant state
     def export_participant_state(self, participant_id: int) -> Dict:

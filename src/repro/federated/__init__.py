@@ -1,4 +1,4 @@
-"""Federated learning substrate: clients, server, aggregation, round loop."""
+"""Federated learning substrate: clients, servers, aggregation topology, round loop."""
 
 from .aggregation import ExpertKey, ExpertUpdate, apply_fedavg, fedavg_states, group_updates
 from .client import LocalTrainResult, Participant, ParticipantResources
@@ -11,7 +11,20 @@ from .orchestrator import (
     RunConfig,
     RunResult,
 )
-from .server import ParameterServer
+from .server import ParameterServer, ShardedParameterServer, make_server
+from .strategies import (
+    AggregationStrategy,
+    FedAvgStrategy,
+    MedianStrategy,
+    StalenessFedAvgStrategy,
+    TrimmedMeanStrategy,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    staleness_discount,
+    strategy_from_config,
+)
+from .topology import HierarchicalTopology, make_topology
 
 __all__ = [
     "ExpertKey",
@@ -27,6 +40,20 @@ __all__ = [
     "GaussianMechanism",
     "epsilon_estimate",
     "ParameterServer",
+    "ShardedParameterServer",
+    "make_server",
+    "AggregationStrategy",
+    "FedAvgStrategy",
+    "TrimmedMeanStrategy",
+    "MedianStrategy",
+    "StalenessFedAvgStrategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "strategy_from_config",
+    "staleness_discount",
+    "HierarchicalTopology",
+    "make_topology",
     "FederatedFineTuner",
     "RunConfig",
     "RunResult",

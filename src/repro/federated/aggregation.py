@@ -28,6 +28,11 @@ class ExpertUpdate:
     expert: int
     state: Dict[str, np.ndarray]
     weight: float = 1.0
+    #: server versions elapsed since the contributor downloaded the model —
+    #: in-memory metadata consumed by the ``staleness_fedavg`` strategy; it
+    #: does not travel in wire frames (the asynchronous scheduler discounts
+    #: weights before transmission, so the wire format stays stable).
+    staleness: int = 0
 
     @property
     def key(self) -> ExpertKey:

@@ -91,6 +91,25 @@ class RunConfig:
     #: reporting, not time-to-accuracy
     channel_latency_s: float = 0.0
 
+    # --- aggregation topology (repro.federated.{strategies,server,topology})
+    #: aggregation strategy: "fedavg" | "trimmed_mean" | "median" |
+    #: "staleness_fedavg".  Note: the built-in round-based schedulers always
+    #: produce staleness-0 updates, so "staleness_fedavg" only discounts when
+    #: a custom scheduler (or direct ``server.aggregate`` use) stamps
+    #: ``ExpertUpdate.staleness``; with scheduler="async" it is rejected (the
+    #: async scheduler already pre-discounts weights).  Any explicit strategy
+    #: also bypasses the buffered FedAvg path's all-zero-weight uniform
+    #: fallback (streaming accumulators raise instead).
+    aggregation: str = "fedavg"
+    trim_ratio: float = 0.1                  # trimmed_mean: fraction trimmed per side
+    num_shards: int = 1                      # expert shards at the root server
+    num_edge_aggregators: int = 0            # edge tier size (0 = flat, single tier)
+    edge_latency_s: float = 0.0              # per-frame edge→root link latency
+
+    # --- durability (repro.runtime.checkpoint)
+    checkpoint_every: int = 0                # snapshot run state every K rounds (0 = off)
+    checkpoint_dir: Optional[str] = None     # where snapshots land (required if every > 0)
+
     def __post_init__(self) -> None:
         if self.scheduler not in ("sync", "semisync", "async"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
@@ -117,6 +136,31 @@ class RunConfig:
                 get_codec(self.codec)  # fail fast on unknown codec tags
             except KeyError as exc:
                 raise ValueError(str(exc)) from exc
+        from .strategies import available_strategies
+
+        if self.aggregation not in available_strategies():
+            raise ValueError(
+                f"unknown aggregation strategy {self.aggregation!r} "
+                f"(expected one of {', '.join(available_strategies())})")
+        if self.scheduler == "async" and self.aggregation == "staleness_fedavg":
+            raise ValueError(
+                "scheduler='async' already discounts update weights by the "
+                "FedBuff staleness factor; combining it with "
+                "aggregation='staleness_fedavg' would apply the discount twice "
+                "— use aggregation='fedavg' (async) or a round-based scheduler "
+                "(staleness_fedavg)")
+        if not 0.0 <= self.trim_ratio < 0.5:
+            raise ValueError("trim_ratio must be in [0, 0.5)")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if self.num_edge_aggregators < 0:
+            raise ValueError("num_edge_aggregators must be non-negative")
+        if self.edge_latency_s < 0.0:
+            raise ValueError("edge_latency_s must be non-negative")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be non-negative")
+        if self.checkpoint_every > 0 and not self.checkpoint_dir:
+            raise ValueError("checkpoint_every > 0 requires checkpoint_dir")
 
 
 @dataclass
@@ -152,6 +196,10 @@ class RoundResult:
     wire_seconds: float = 0.0
     payloads_lost: int = 0
     payloads_corrupted: int = 0
+    #: measured edge→root backhaul traffic (zero on a flat, single-tier run)
+    edge_bytes: float = 0.0
+    edge_seconds: float = 0.0
+    edge_payloads: int = 0
 
 
 @dataclass
@@ -206,6 +254,19 @@ class FederatedFineTuner(abc.ABC):
         self._legacy_scheduler = None
         self._legacy_scheduler_key = None
         self._channels: Dict[int, object] = {}
+        # --- aggregation topology: strategy, expert shards, edge tier.
+        # With the defaults (fedavg / 1 shard / 0 edges) every hook below is a
+        # pass-through and the behaviour is bit-identical to the flat legacy
+        # path.
+        from .server import ShardedParameterServer
+        from .strategies import strategy_from_config
+        from .topology import make_topology
+
+        self.aggregation_strategy = strategy_from_config(self.config)
+        if self.config.num_shards > 1 and server.num_shards != self.config.num_shards:
+            self.server = ShardedParameterServer.from_server(
+                server, self.config.num_shards)
+        self.topology = make_topology(self.config)
 
     # ------------------------------------------------------------------ hooks
     @abc.abstractmethod
@@ -324,6 +385,50 @@ class FederatedFineTuner(abc.ABC):
                     stats.decode_failures += 1
         return delivered, stats
 
+    def aggregate_round_updates(self, updates):
+        """Fold one round's delivered updates through the aggregation topology.
+
+        Flat runs hand the update stream straight to the server; with an edge
+        tier configured, updates pre-fold at their edge aggregators and only
+        wire-framed partial aggregates cross the (metered) edge→root channels.
+        Returns ``(contributions, edge_stats)``; ``edge_stats`` is an empty
+        :class:`~repro.comm.ChannelStats` on a flat run.
+        """
+        from ..comm import ChannelStats
+
+        streaming = self.config.streaming_aggregation
+        if self.topology is not None:
+            return self.topology.aggregate(self.server, updates, streaming=streaming,
+                                           strategy=self.aggregation_strategy)
+        contributions = self.server.aggregate(updates, streaming=streaming,
+                                              strategy=self.aggregation_strategy)
+        return contributions, ChannelStats()
+
+    # ------------------------------------------------------------- run state
+    def export_run_state(self) -> Dict:
+        """Picklable snapshot of method-level cross-round state.
+
+        The base orchestrator keeps all cross-round state in the pieces the
+        checkpoint layer captures explicitly (server, clock, run RNG,
+        participants, channels); methods with their own evolving server-side
+        state (e.g. Flux's role-assignment RNG) extend this and
+        :meth:`import_run_state`.
+        """
+        return {}
+
+    def import_run_state(self, state: Dict) -> None:
+        """Restore an :meth:`export_run_state` snapshot."""
+
+    def export_channel_states(self) -> Dict[int, Dict]:
+        """Per-participant wire-channel state (fault-stream position + stats)."""
+        return {pid: channel.export_state()
+                for pid, channel in self._channels.items()}
+
+    def import_channel_states(self, states: Dict[int, Dict]) -> None:
+        """Rebuild wire channels and restore their sequence/stat positions."""
+        for pid, state in states.items():
+            self.channel_for(self.participant_by_id(pid)).import_state(state)
+
     def evaluate(self) -> float:
         """Evaluate the global model on the held-out test set."""
         return evaluate_model(
@@ -383,15 +488,41 @@ class FederatedFineTuner(abc.ABC):
         return any_cost_model.aggregation_time(num_updates)
 
     def run(self, num_rounds: int, stop_at_target: bool = False,
-            target_metric: Optional[float] = None, scheduler=None) -> RunResult:
+            target_metric: Optional[float] = None, scheduler=None,
+            resume_from: Optional[str] = None) -> RunResult:
         """Run ``num_rounds`` aggregation rounds (optionally stopping at the target).
 
         The loop is driven by ``scheduler`` when given, else by the policy
         :attr:`RunConfig.scheduler` selects (default: synchronous FedAvg,
         identical to the historical loop).
+
+        With :attr:`RunConfig.checkpoint_every` set, the full run state
+        (server + model, metrics tracker, RNG streams, scheduler position) is
+        snapshotted into :attr:`RunConfig.checkpoint_dir` every K rounds.
+        ``resume_from`` continues a killed run from such a snapshot —
+        ``num_rounds`` stays the *total* round count, and the resumed run's
+        :class:`RunResult` is identical to an uninterrupted one.
         """
         from ..runtime import make_scheduler
+        from ..runtime.checkpoint import (
+            RunCheckpointer,
+            load_run_checkpoint,
+            restore_run_state,
+        )
 
         active = scheduler if scheduler is not None else make_scheduler(self.config)
+        checkpointer = None
+        if self.config.checkpoint_every > 0:
+            checkpointer = RunCheckpointer(directory=self.config.checkpoint_dir,
+                                           every=self.config.checkpoint_every)
+        resume = None
+        if resume_from is not None:
+            resume = restore_run_state(self, active, load_run_checkpoint(resume_from))
+        if checkpointer is None and resume is None:
+            # Historical call shape: custom Scheduler implementations that
+            # predate the durability layer keep working untouched.
+            return active.run(self, num_rounds, stop_at_target=stop_at_target,
+                              target_metric=target_metric)
         return active.run(self, num_rounds, stop_at_target=stop_at_target,
-                          target_metric=target_metric)
+                          target_metric=target_metric, checkpointer=checkpointer,
+                          resume=resume)

@@ -1,4 +1,22 @@
-"""The central parameter server of the federated system."""
+"""The central parameter server(s) of the federated system.
+
+Two server flavours share one interface:
+
+:class:`ParameterServer`
+    The flat server — holds the global MoE model and aggregates every expert
+    key itself.
+
+:class:`ShardedParameterServer`
+    Partitions the ``ExpertKey`` space round-robin across ``num_shards``
+    shards; each shard folds its own
+    :class:`~repro.comm.StreamingAggregator`, so per-shard fold state (and,
+    in a real deployment, fold *work*) is independent.  Per-key aggregation is
+    already independent across keys, so any shard count produces bit-identical
+    global parameters — sharding changes *where* state lives, not the math.
+
+Both accept a pluggable :class:`~repro.federated.strategies.AggregationStrategy`
+(default: weighted FedAvg, bit-identical to the historical hardwired path).
+"""
 
 from __future__ import annotations
 
@@ -18,14 +36,20 @@ class ParameterServer:
     states (plus scalar statistics such as utilities), and download refreshed
     expert parameters at the start of the next round.  Aggregation runs either
     buffered (the legacy FedAvg path, which keeps every update alive) or
-    *streaming* (``streaming=True``): each update folds into a running
-    weighted sum per expert key as it arrives, so peak server memory is one
+    *streaming* (``streaming=True``): each update folds into a per-expert
+    accumulator as it arrives, so peak server memory under FedAvg is one
     update plus the running sums — O(1) in the number of clients — while
-    producing bit-identical averages.
+    producing bit-identical averages.  ``strategy`` (a name or an
+    :class:`~repro.federated.strategies.AggregationStrategy`) replaces the
+    FedAvg reduction with e.g. a coordinate-wise trimmed mean or median.
     """
 
-    def __init__(self, global_model: MoETransformer) -> None:
+    #: flat servers own the whole key space
+    num_shards: int = 1
+
+    def __init__(self, global_model: MoETransformer, strategy=None) -> None:
         self.global_model = global_model
+        self.strategy = strategy
         self.round_index = 0
         #: number of contributions each expert received over the whole run
         self.contribution_counts: Dict[ExpertKey, int] = {}
@@ -48,26 +72,52 @@ class ParameterServer:
         return {key: self.expert_state(*key) for key in keys}
 
     # ------------------------------------------------------------- aggregation
-    def aggregate(self, updates: Iterable[ExpertUpdate],
-                  streaming: bool = False) -> Dict[ExpertKey, int]:
-        """FedAvg the received expert updates into the global model.
+    def _resolve_strategy(self, strategy):
+        return strategy if strategy is not None else self.strategy
 
-        With ``streaming=True`` the updates iterable is consumed one element
-        at a time through a :class:`~repro.comm.StreamingAggregator` — pass a
-        generator and no more than one update is ever buffered server-side.
-        """
-        if streaming:
-            aggregator = StreamingAggregator()
-            aggregator.add_updates(updates)
-            contributions = aggregator.apply(self.global_model)
-        else:
-            contributions = apply_fedavg(self.global_model, updates)
+    def _make_aggregators(self, strategy) -> List[StreamingAggregator]:
+        """One streaming aggregator per shard (flat servers have one)."""
+        return [StreamingAggregator(strategy) for _ in range(self.num_shards)]
+
+    def shard_of(self, key: ExpertKey) -> int:
+        """The shard responsible for ``key`` (always 0 on a flat server)."""
+        return 0
+
+    def _record(self, contributions: Dict[ExpertKey, int]) -> Dict[ExpertKey, int]:
         for key, count in contributions.items():
             self.contribution_counts[key] = self.contribution_counts.get(key, 0) + count
         self.round_index += 1
         return contributions
 
-    def aggregate_payloads(self, payloads: Iterable[bytes]) -> Dict[ExpertKey, int]:
+    def aggregate(self, updates: Iterable[ExpertUpdate],
+                  streaming: bool = False, strategy=None) -> Dict[ExpertKey, int]:
+        """Aggregate the received expert updates into the global model.
+
+        With ``streaming=True`` the updates iterable is consumed one element
+        at a time through per-shard
+        :class:`~repro.comm.StreamingAggregator`'s — pass a generator and no
+        more than one update is ever buffered server-side.  ``strategy``
+        overrides the server's construction-time strategy for this call; the
+        ``None``/FedAvg default keeps the exact legacy arithmetic (including
+        the buffered path's all-zero-weight uniform fallback).
+        """
+        effective = self._resolve_strategy(strategy)
+        if effective is None and not streaming:
+            # The buffered legacy FedAvg path — shared by every shard count so
+            # its all-zero-weight uniform fallback (and bit-exactness) hold on
+            # sharded servers too; per-key folds are independent, so routing
+            # through shard aggregators would change nothing but the fallback.
+            return self._record(apply_fedavg(self.global_model, updates))
+        aggregators = self._make_aggregators(effective)
+        for update in updates:
+            aggregators[self.shard_of(update.key)].add(update)
+        contributions: Dict[ExpertKey, int] = {}
+        for aggregator in aggregators:
+            contributions.update(aggregator.apply(self.global_model))
+        return self._record(contributions)
+
+    def aggregate_payloads(self, payloads: Iterable[bytes],
+                           strategy=None) -> Dict[ExpertKey, int]:
         """Streaming aggregation straight from framed wire payloads.
 
         Each frame is decoded (resolving delta-codec references against the
@@ -75,14 +125,42 @@ class ParameterServer:
         and folded immediately; the model is only mutated once every payload
         has been folded, so references stay stable throughout.
         """
-        aggregator = StreamingAggregator()
+        aggregators = self._make_aggregators(self._resolve_strategy(strategy))
         for payload in payloads:
-            aggregator.add_payload(payload, reference_lookup=self.expert_state)
-        contributions = aggregator.apply(self.global_model)
-        for key, count in contributions.items():
-            self.contribution_counts[key] = self.contribution_counts.get(key, 0) + count
-        self.round_index += 1
-        return contributions
+            if self.num_shards == 1:
+                aggregators[0].add_payload(payload, reference_lookup=self.expert_state)
+            else:
+                from ..comm import decode_update
+
+                update = decode_update(payload, reference_lookup=self.expert_state)
+                aggregators[self.shard_of(update.key)].add(update)
+        contributions: Dict[ExpertKey, int] = {}
+        for aggregator in aggregators:
+            contributions.update(aggregator.apply(self.global_model))
+        return self._record(contributions)
+
+    # ------------------------------------------------------------- durability
+    def export_state(self) -> Dict:
+        """Picklable snapshot of the server's run state (model excluded).
+
+        The model itself is persisted separately via
+        :func:`repro.models.checkpoint.save_checkpoint`; this covers the
+        bookkeeping a resumed run must continue from.
+        """
+        return {
+            "round_index": self.round_index,
+            "contribution_counts": dict(self.contribution_counts),
+            "num_shards": self.num_shards,
+        }
+
+    def import_state(self, state: Dict) -> None:
+        """Restore an :meth:`export_state` snapshot."""
+        if state.get("num_shards", 1) != self.num_shards:
+            raise ValueError(
+                f"checkpoint was written by a {state.get('num_shards', 1)}-shard "
+                f"server; this server has {self.num_shards} shards")
+        self.round_index = int(state["round_index"])
+        self.contribution_counts = dict(state["contribution_counts"])
 
     # -------------------------------------------------------------- inspection
     def experts_per_layer(self) -> List[int]:
@@ -95,3 +173,76 @@ class ParameterServer:
         """Experts that have never received an update (useful for exploration)."""
         touched = set(self.contribution_counts)
         return [key for key in self.global_model.iter_expert_ids() if key not in touched]
+
+
+class ShardedParameterServer(ParameterServer):
+    """Expert-sharded parameter server.
+
+    Expert keys are assigned round-robin over their flattened
+    ``(layer, expert)`` index, so shards stay balanced for any layer shape.
+    Streaming (and non-default-strategy) aggregation routes every update to
+    its key's shard aggregator; the buffered FedAvg default shares the flat
+    server's legacy path, which is already per-key independent.
+    :attr:`last_shard_contributions` records how many updates each shard
+    received in the most recent aggregation (the per-shard load signal a
+    deployment would use for re-balancing).
+    """
+
+    def __init__(self, global_model: MoETransformer, num_shards: int = 1,
+                 strategy=None) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        super().__init__(global_model, strategy=strategy)
+        self.num_shards = int(num_shards)
+        counts = global_model.experts_per_layer()
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._flat_index = {
+            (layer, expert): int(offsets[layer]) + expert
+            for layer in range(len(counts)) for expert in range(counts[layer])
+        }
+        #: updates folded per shard in the most recent aggregation
+        self.last_shard_contributions: List[int] = [0] * self.num_shards
+
+    @classmethod
+    def from_server(cls, server: ParameterServer, num_shards: int,
+                    strategy=None) -> "ShardedParameterServer":
+        """Re-home an existing flat server's model (and counts) onto shards."""
+        sharded = cls(server.global_model, num_shards=num_shards,
+                      strategy=strategy if strategy is not None else server.strategy)
+        sharded.round_index = server.round_index
+        sharded.contribution_counts = dict(server.contribution_counts)
+        return sharded
+
+    def shard_of(self, key: ExpertKey) -> int:
+        try:
+            return self._flat_index[key] % self.num_shards
+        except KeyError:
+            raise KeyError(f"unknown expert key {key!r}") from None
+
+    def shard_keys(self, shard: int) -> List[ExpertKey]:
+        """Every expert key owned by ``shard`` (flattened-index order)."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard must be in [0, {self.num_shards})")
+        return sorted((key for key, flat in self._flat_index.items()
+                       if flat % self.num_shards == shard),
+                      key=lambda key: self._flat_index[key])
+
+    def aggregate(self, updates: Iterable[ExpertUpdate],
+                  streaming: bool = False, strategy=None) -> Dict[ExpertKey, int]:
+        contributions = super().aggregate(updates, streaming=streaming,
+                                          strategy=strategy)
+        shard_counts = [0] * self.num_shards
+        for key, count in contributions.items():
+            shard_counts[self.shard_of(key)] += count
+        self.last_shard_contributions = shard_counts
+        return contributions
+
+
+def make_server(global_model: MoETransformer, config=None,
+                strategy=None) -> ParameterServer:
+    """Build the server a :class:`~repro.federated.RunConfig` describes."""
+    num_shards = int(getattr(config, "num_shards", 1) or 1) if config is not None else 1
+    if num_shards > 1:
+        return ShardedParameterServer(global_model, num_shards=num_shards,
+                                      strategy=strategy)
+    return ParameterServer(global_model, strategy=strategy)

@@ -1,0 +1,186 @@
+"""Hierarchical aggregation topology: participants → edge aggregators → root.
+
+A production fleet of millions cannot upload every expert update to one root
+server.  :class:`HierarchicalTopology` inserts a tier of *edge aggregators*
+between the participants and the (possibly sharded) parameter server: each
+edge pre-folds its group's updates with the run's aggregation strategy and
+forwards **one wire-framed partial aggregate per expert key** — carrying the
+group's accumulated weight — over a metered :class:`~repro.comm.Channel` to
+the root.  The root then aggregates the partials exactly as it would
+aggregate client updates, so edge tiers compose with expert sharding and with
+any :class:`~repro.federated.strategies.AggregationStrategy`.
+
+For weighted FedAvg the two-tier weighted-mean-of-weighted-means is
+mathematically the flat weighted mean (floating-point association differs,
+the values agree to rounding).  Order statistics (trimmed mean, median)
+become their standard hierarchical approximations: each tier applies the
+robust reduction to what it received.
+
+Edge-hop traffic is measured, not estimated: every partial crosses its edge's
+channel, and the per-round byte/latency totals surface as
+``RoundResult.edge_bytes`` / ``edge_seconds`` next to the participant-hop
+wire metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..comm import (
+    Channel,
+    ChannelStats,
+    PayloadCorruptedError,
+    StreamingAggregator,
+    decode_update,
+    encode_update,
+    get_codec,
+)
+from .aggregation import ExpertKey, ExpertUpdate
+
+#: edge→root frames are lossless float64 — pre-folded partials must not lose
+#: precision on the backhaul hop
+EDGE_CODEC = "fp64"
+
+
+class HierarchicalTopology:
+    """A two-tier aggregation topology with ``num_edges`` edge aggregators.
+
+    Parameters
+    ----------
+    num_edges:
+        Number of edge aggregators in the tier.
+    group_fn:
+        Maps a participant id to its edge index (default: ``pid % num_edges``,
+        a stable round-robin assignment).
+    channels:
+        Optional pre-built edge→root channels, one per edge.  The default
+        builds unmetered-bandwidth :class:`~repro.comm.Channel`'s with
+        ``latency_s`` per frame (edges are assumed to sit on datacenter-grade
+        links; pass explicit channels to model constrained backhaul).
+    latency_s:
+        Per-frame edge→root latency for the default channels.
+    """
+
+    def __init__(self, num_edges: int,
+                 group_fn: Optional[Callable[[int], int]] = None,
+                 channels: Optional[List[Channel]] = None,
+                 latency_s: float = 0.0) -> None:
+        if num_edges < 1:
+            raise ValueError("a hierarchical topology needs at least one edge aggregator")
+        if channels is not None and len(channels) != num_edges:
+            raise ValueError("one edge→root channel per edge aggregator is required")
+        self.num_edges = int(num_edges)
+        self._group_fn = group_fn
+        self.channels = channels or [
+            Channel(participant_id=edge, latency_s=latency_s)
+            for edge in range(self.num_edges)
+        ]
+        #: participant updates folded per edge in the most recent round
+        self.last_edge_counts: List[int] = [0] * self.num_edges
+
+    def edge_of(self, participant_id: int) -> int:
+        """The edge aggregator serving ``participant_id``."""
+        if self._group_fn is not None:
+            edge = int(self._group_fn(participant_id))
+            if not 0 <= edge < self.num_edges:
+                raise ValueError(
+                    f"group_fn mapped participant {participant_id} to edge {edge}, "
+                    f"outside [0, {self.num_edges})")
+            return edge
+        return int(participant_id) % self.num_edges
+
+    # -------------------------------------------------------------- aggregation
+    def partial_updates(self, edge: int,
+                        aggregator: StreamingAggregator) -> List[ExpertUpdate]:
+        """The edge's pre-folded partials, one update per expert key.
+
+        The partial's weight is the group's accumulated (post-discount)
+        weight, so the root's weighted fold treats the group exactly as one
+        heavy contributor.  Edge partials carry a negative pseudo participant
+        id (``-(edge + 1)``) so logs can tell tiers apart.
+
+        Keys whose group contributed only zero-weight FedAvg updates are
+        dropped (the pre-fold consumed the individual states, so the flat
+        buffered path's uniform-mean fallback is impossible here): a
+        zero-weight group simply contributes nothing to the root.
+        """
+        finalized = aggregator.finalize(skip_unfinalizable=True)
+        return [
+            ExpertUpdate(
+                participant_id=-(edge + 1),
+                layer=layer,
+                expert=expert,
+                state=state,
+                weight=aggregator.total_weight((layer, expert)),
+            )
+            for (layer, expert), state in finalized.items()
+        ]
+
+    def aggregate(self, server, updates: Iterable[ExpertUpdate],
+                  streaming: bool = False, strategy=None
+                  ) -> Tuple[Dict[ExpertKey, int], ChannelStats]:
+        """Run one round of two-tier aggregation into ``server``.
+
+        Consumes ``updates`` one at a time (a generator streams straight into
+        the edge accumulators), folds each into its participant's edge, ships
+        every edge's partials over its metered channel as framed payloads, and
+        hands the delivered partials to ``server.aggregate``.  Returns the
+        root's contribution counts (partials folded per key — what the root
+        actually received) plus the measured edge-hop :class:`ChannelStats`.
+        """
+        edge_aggregators = [StreamingAggregator(strategy) for _ in range(self.num_edges)]
+        for update in updates:
+            edge_aggregators[self.edge_of(update.participant_id)].add(update)
+        self.last_edge_counts = [agg.num_updates for agg in edge_aggregators]
+
+        codec = get_codec(EDGE_CODEC)
+        stats = ChannelStats()
+
+        def delivered_partials():
+            for edge, aggregator in enumerate(edge_aggregators):
+                if not len(aggregator):
+                    continue
+                for partial in self.partial_updates(edge, aggregator):
+                    record = self.channels[edge].send(
+                        encode_update(partial, codec), direction="up")
+                    stats.record(record)
+                    if not record.delivered:
+                        continue
+                    if record.corrupted:
+                        # Same contract as the participant hop: a corrupted
+                        # frame must fail its CRC and be dropped, never fold.
+                        try:
+                            yield decode_update(record.payload)
+                        except PayloadCorruptedError:
+                            stats.decode_failures += 1
+                    else:
+                        # Pristine frames skip the (lossless fp64) re-decode:
+                        # the in-memory partial is byte-for-byte what a
+                        # decode would reconstruct.
+                        yield partial
+
+        contributions = server.aggregate(delivered_partials(), streaming=streaming,
+                                         strategy=strategy)
+        return contributions, stats
+
+    # ---------------------------------------------------------------- inspection
+    def describe(self) -> Dict:
+        """Topology shape summary (for logs and examples)."""
+        return {
+            "tiers": 2,
+            "num_edges": self.num_edges,
+            "edge_counts": list(self.last_edge_counts),
+        }
+
+
+def make_topology(config) -> Optional[HierarchicalTopology]:
+    """The topology a :class:`~repro.federated.RunConfig` selects (or ``None``).
+
+    ``num_edge_aggregators == 0`` keeps the flat single-tier path — the
+    bit-identical legacy behaviour.
+    """
+    num_edges = int(getattr(config, "num_edge_aggregators", 0) or 0)
+    if num_edges < 1:
+        return None
+    return HierarchicalTopology(
+        num_edges, latency_s=float(getattr(config, "edge_latency_s", 0.0)))

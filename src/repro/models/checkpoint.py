@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,25 +24,47 @@ from .transformer import MoETransformer
 _CONFIG_KEY = "__config_json__"
 
 
-def save_checkpoint(model: MoETransformer, path: str) -> str:
-    """Serialise model parameters and config to ``path`` (``.npz``)."""
-    directory = os.path.dirname(os.path.abspath(path))
+def save_checkpoint(model: MoETransformer, path: Union[str, "os.PathLike[str]"]) -> str:
+    """Serialise model parameters and config to ``path`` (``.npz``).
+
+    Returns the path of the file actually written.  ``np.savez`` appends an
+    ``.npz`` suffix when the target lacks one; rather than second-guessing
+    that rule, the suffix is resolved *before* writing and the resolved name
+    is what both ``np.savez`` receives and the caller gets back — the two can
+    never disagree (including for ``os.PathLike`` inputs and suffixes that
+    merely *contain* ``.npz``, e.g. ``model.npz.bak``).
+    """
+    target = os.fspath(path)
+    if not target.endswith(".npz"):
+        target += ".npz"
+    directory = os.path.dirname(os.path.abspath(target))
     if directory:
         os.makedirs(directory, exist_ok=True)
     state = model.state_dict()
     config_json = json.dumps(asdict(model.config))
-    np.savez(path, **state, **{_CONFIG_KEY: np.array(config_json)})
-    return path if path.endswith(".npz") else path + ".npz"
+    np.savez(target, **state, **{_CONFIG_KEY: np.array(config_json)})
+    return target
 
 
 def load_checkpoint(path: str) -> MoETransformer:
     """Load a checkpoint into a model with the architecture it was saved with."""
-    archive = np.load(_resolve(path), allow_pickle=False)
-    config = _config_from_archive(archive)
+    config, state = load_checkpoint_state(path)
     model = MoETransformer(config)
-    state = {key: archive[key] for key in archive.files if key != _CONFIG_KEY}
     model.load_state_dict(state)
     return model
+
+
+def load_checkpoint_state(path: str) -> Tuple[MoEModelConfig, Dict[str, np.ndarray]]:
+    """The raw ``(config, state_dict)`` stored in a checkpoint archive.
+
+    Useful when the parameters should be loaded into an *existing* model
+    instance (e.g. the run-state layer restoring a parameter server's global
+    model in place) rather than a freshly constructed one.
+    """
+    archive = np.load(_resolve(path), allow_pickle=False)
+    config = _config_from_archive(archive)
+    state = {key: archive[key] for key in archive.files if key != _CONFIG_KEY}
+    return config, state
 
 
 def load_model(model_path: str, exps_config: Optional[Union[int, Sequence[int], Dict[int, int]]] = None
@@ -63,16 +85,11 @@ def load_model(model_path: str, exps_config: Optional[Union[int, Sequence[int], 
         Per-layer expert counts for the customized architecture.  ``None``
         loads the original architecture unchanged.
     """
-    archive = np.load(_resolve(model_path), allow_pickle=False)
-    config = _config_from_archive(archive)
-    state = {key: archive[key] for key in archive.files if key != _CONFIG_KEY}
-    if exps_config is None:
-        model = MoETransformer(config)
-        model.load_state_dict(state)
-        return model
-
+    config, state = load_checkpoint_state(model_path)
     base = MoETransformer(config)
     base.load_state_dict(state)
+    if exps_config is None:
+        return base
     return customized_moe(base, exps_config)
 
 

@@ -10,6 +10,13 @@ Select a policy via :attr:`RunConfig.scheduler` (``"sync"`` | ``"semisync"`` |
 :meth:`FederatedFineTuner.run` directly.
 """
 
+from .checkpoint import (
+    RunCheckpointer,
+    latest_checkpoint,
+    load_run_checkpoint,
+    restore_run_state,
+    save_run_checkpoint,
+)
 from .events import Event, EventQueue
 from .executor import (
     ParticipantExecutor,
@@ -41,6 +48,11 @@ from .scheduler import (
 )
 
 __all__ = [
+    "RunCheckpointer",
+    "latest_checkpoint",
+    "load_run_checkpoint",
+    "restore_run_state",
+    "save_run_checkpoint",
     "Event",
     "EventQueue",
     "ClientSampler",

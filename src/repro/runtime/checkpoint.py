@@ -1,0 +1,225 @@
+"""Durable run-state checkpointing for federated fine-tuning runs.
+
+A production federation of millions of participants cannot afford to restart
+from round zero when the coordinator dies.  This layer extends the model
+checkpointing in :mod:`repro.models.checkpoint` to the *whole run*: every K
+rounds it snapshots
+
+* the parameter server — global model parameters (as a standard ``.npz``
+  model checkpoint) plus round index and contribution counts;
+* the :class:`~repro.metrics.PerformanceTracker` history, the
+  :class:`~repro.systems.RunTimeline` and the completed
+  :class:`~repro.federated.RoundResult` list;
+* every RNG stream a continuing round will draw from — the tuner's run RNG
+  (bit-generator state), each participant's batch-shuffling seed, and each
+  wire channel's payload sequence position (the fault injectors themselves
+  are stateless: their draws are keyed on ``(seed, round, participant)``);
+* the simulated clock, method-level extras
+  (:meth:`~repro.federated.FederatedFineTuner.export_run_state` — e.g.
+  Flux's role-assignment RNG), and the scheduler's cross-round position
+  (for the asynchronous scheduler: the in-flight event queue and buffer).
+
+``FederatedFineTuner.run(num_rounds, resume_from=<checkpoint dir>)`` restores
+all of it and continues, producing a :class:`~repro.federated.RunResult`
+identical to an uninterrupted run — test-enforced for every scheduler.
+
+On-disk layout: one directory per snapshot (``round_00004/``) holding
+``model.npz`` and ``run_state.pkl``.  The pickle is written last and moved
+into place atomically, so a snapshot directory containing ``run_state.pkl``
+is always complete; :func:`latest_checkpoint` ignores anything else.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..models.checkpoint import load_checkpoint_state, save_checkpoint
+
+CHECKPOINT_VERSION = 1
+MODEL_FILE = "model.npz"
+STATE_FILE = "run_state.pkl"
+_ROUND_DIR = re.compile(r"^round_(\d+)$")
+
+#: config fields a resumed run may legitimately change — everything else must
+#: match the snapshot exactly, or the continuation would silently diverge
+#: from the uninterrupted run
+_RESUMABLE_CONFIG_FIELDS = frozenset({"checkpoint_every", "checkpoint_dir"})
+
+
+def _config_snapshot(config) -> Dict:
+    """The run-affecting slice of a ``RunConfig`` as a comparable dict."""
+    return {key: value for key, value in asdict(config).items()
+            if key not in _RESUMABLE_CONFIG_FIELDS}
+
+
+def _config_mismatches(saved: Dict, current: Dict) -> List[str]:
+    mismatched = []
+    for key in sorted(set(saved) | set(current)):
+        saved_value, current_value = saved.get(key), current.get(key)
+        try:
+            same = bool(saved_value == current_value)
+        except (ValueError, TypeError):  # e.g. array-valued traces
+            same = repr(saved_value) == repr(current_value)
+        if not same:
+            mismatched.append(key)
+    return mismatched
+
+
+def save_run_checkpoint(directory: str, tuner, scheduler, tracker,
+                        run_timeline, rounds: List) -> str:
+    """Write one complete run snapshot into ``directory`` and return it."""
+    os.makedirs(directory, exist_ok=True)
+    # Re-saving into an existing snapshot (a resumed-from-older-round run
+    # reaching this round again) must not leave a half-rewritten model.npz
+    # beside a stale-but-complete state file: drop the completeness marker
+    # first, then write the model through a temp file + atomic rename.
+    state_path = os.path.join(directory, STATE_FILE)
+    if os.path.exists(state_path):
+        os.remove(state_path)
+    model_tmp = save_checkpoint(tuner.server.global_model,
+                                os.path.join(directory, "model.tmp.npz"))
+    os.replace(model_tmp, os.path.join(directory, MODEL_FILE))
+    state = {
+        "version": CHECKPOINT_VERSION,
+        "method": tuner.name,
+        "scheduler": scheduler.name,
+        "next_round": len(rounds),
+        "server": tuner.server.export_state(),
+        "tracker": tracker,
+        "run_timeline": run_timeline,
+        "rounds": list(rounds),
+        "rng_state": tuner._rng.bit_generator.state,
+        "clock": tuner.clock.now(),
+        "participants": {
+            participant.participant_id:
+                tuner.export_participant_state(participant.participant_id)
+            for participant in tuner.participants
+        },
+        "channels": tuner.export_channel_states(),
+        "edge_channels": (
+            [channel.export_state() for channel in tuner.topology.channels]
+            if getattr(tuner, "topology", None) is not None else None),
+        "run_config": _config_snapshot(tuner.config),
+        "tuner_extra": tuner.export_run_state(),
+        "scheduler_state": scheduler.export_state(),
+    }
+    # Write-then-rename: the state file names a complete snapshot, so a crash
+    # mid-save leaves a directory that loaders and `latest_checkpoint` reject
+    # rather than a torn checkpoint.
+    tmp_path = state_path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(state, handle)
+    os.replace(tmp_path, state_path)
+    return directory
+
+
+def load_run_checkpoint(path: str) -> Dict:
+    """Read a snapshot directory back into memory (no tuner mutation yet)."""
+    state_path = os.path.join(path, STATE_FILE)
+    if not os.path.exists(state_path):
+        raise FileNotFoundError(
+            f"no complete run checkpoint at {path!r} (missing {STATE_FILE})")
+    with open(state_path, "rb") as handle:
+        state = pickle.load(handle)
+    if state.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported run-checkpoint version {state.get('version')!r} "
+            f"(expected {CHECKPOINT_VERSION})")
+    _, model_state = load_checkpoint_state(os.path.join(path, MODEL_FILE))
+    state["model_state"] = model_state
+    return state
+
+
+def restore_run_state(tuner, scheduler, checkpoint: Dict) -> Dict:
+    """Mutate ``tuner``/``scheduler`` back to the snapshot and return the
+    resume bundle :meth:`~repro.runtime.scheduler.Scheduler.run` consumes."""
+    if checkpoint["method"] != tuner.name:
+        raise ValueError(
+            f"checkpoint was written by method {checkpoint['method']!r}; "
+            f"cannot resume a {tuner.name!r} run from it")
+    if checkpoint["scheduler"] != scheduler.name:
+        raise ValueError(
+            f"checkpoint was written under the {checkpoint['scheduler']!r} "
+            f"scheduler; this run uses {scheduler.name!r}")
+    mismatched = _config_mismatches(checkpoint["run_config"],
+                                    _config_snapshot(tuner.config))
+    if mismatched:
+        raise ValueError(
+            "checkpoint was written under a different RunConfig; resuming "
+            "would silently diverge from the uninterrupted run (differing "
+            f"fields: {', '.join(mismatched)})")
+    tuner.server.global_model.load_state_dict(checkpoint["model_state"])
+    tuner.server.import_state(checkpoint["server"])
+    tuner._rng = np.random.default_rng()
+    tuner._rng.bit_generator.state = checkpoint["rng_state"]
+    tuner.clock._now = float(checkpoint["clock"])
+    for participant_id, participant_state in checkpoint["participants"].items():
+        tuner.import_participant_state(participant_id, participant_state)
+    tuner.import_channel_states(checkpoint["channels"])
+    edge_channels = checkpoint["edge_channels"]
+    if edge_channels is not None:
+        topology = getattr(tuner, "topology", None)
+        if topology is None or len(topology.channels) != len(edge_channels):
+            raise ValueError(
+                f"checkpoint carries {len(edge_channels)} edge-channel states "
+                "but the resuming tuner's topology has "
+                f"{0 if topology is None else len(topology.channels)} edges")
+        for channel, channel_state in zip(topology.channels, edge_channels):
+            channel.import_state(channel_state)
+    tuner.import_run_state(checkpoint["tuner_extra"])
+    scheduler.restore_state(checkpoint["scheduler_state"], tuner)
+    return {
+        "tracker": checkpoint["tracker"],
+        "run_timeline": checkpoint["run_timeline"],
+        "rounds": checkpoint["rounds"],
+        "next_round": checkpoint["next_round"],
+    }
+
+
+def latest_checkpoint(directory: str) -> Optional[str]:
+    """The most recent complete snapshot under ``directory`` (or ``None``)."""
+    if not os.path.isdir(directory):
+        return None
+    best: Optional[str] = None
+    best_round = -1
+    for name in os.listdir(directory):
+        match = _ROUND_DIR.match(name)
+        if match is None:
+            continue
+        candidate = os.path.join(directory, name)
+        if not os.path.exists(os.path.join(candidate, STATE_FILE)):
+            continue  # torn snapshot from a crash mid-save
+        if int(match.group(1)) > best_round:
+            best_round = int(match.group(1))
+            best = candidate
+    return best
+
+
+@dataclass
+class RunCheckpointer:
+    """Policy object: snapshot the run every ``every`` completed rounds."""
+
+    directory: str
+    every: int
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError("checkpoint interval must be positive")
+        if not self.directory:
+            raise ValueError("a checkpoint directory is required")
+
+    def due(self, rounds_completed: int) -> bool:
+        return rounds_completed > 0 and rounds_completed % self.every == 0
+
+    def path_for(self, rounds_completed: int) -> str:
+        return os.path.join(self.directory, f"round_{rounds_completed:05d}")
+
+    def save(self, tuner, scheduler, tracker, run_timeline, rounds: List) -> str:
+        return save_run_checkpoint(self.path_for(len(rounds)), tuner, scheduler,
+                                   tracker, run_timeline, rounds)

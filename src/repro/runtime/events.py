@@ -63,6 +63,16 @@ class EventQueue:
         """Timestamp of the earliest event, or ``None`` when empty."""
         return self._heap[0][0] if self._heap else None
 
+    def snapshot(self) -> List[Event]:
+        """Every queued event in firing order, without consuming the queue.
+
+        Re-pushing a snapshot into a fresh queue (in order) reproduces the
+        original pop order exactly — sequence numbers are reassigned densely
+        but preserve the relative tie-breaking — which is what makes the
+        asynchronous scheduler's in-flight state checkpointable.
+        """
+        return [item[2] for item in sorted(self._heap, key=lambda item: item[:2])]
+
     def pop_until(self, time: float) -> List[Event]:
         """Pop every event with ``event.time <= time`` in firing order."""
         fired: List[Event] = []

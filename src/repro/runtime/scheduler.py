@@ -34,7 +34,7 @@ per-(round, participant) fault RNGs, so identical configs replay identical
 from __future__ import annotations
 
 import abc
-from dataclasses import replace
+from dataclasses import dataclass, field as dataclasses_field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -75,36 +75,85 @@ class Scheduler(abc.ABC):
     # ------------------------------------------------------------------- loop
     def run(self, tuner: FederatedFineTuner, num_rounds: int,
             stop_at_target: bool = False,
-            target_metric: Optional[float] = None) -> RunResult:
-        """Run ``num_rounds`` aggregation rounds of ``tuner`` under this policy."""
+            target_metric: Optional[float] = None,
+            checkpointer=None, resume: Optional[Dict] = None) -> RunResult:
+        """Run ``num_rounds`` aggregation rounds of ``tuner`` under this policy.
+
+        ``checkpointer`` (a :class:`~repro.runtime.checkpoint.RunCheckpointer`)
+        snapshots the full run state every K completed rounds; ``resume`` is
+        the bundle :func:`~repro.runtime.checkpoint.restore_run_state`
+        produced, pre-seeding the tracker/timeline/rounds so the loop
+        continues exactly where the interrupted run stopped.  ``num_rounds``
+        is always the *total* round count.
+        """
         if num_rounds < 1:
             raise ValueError("num_rounds must be positive")
         goal = target_metric if target_metric is not None else tuner.target_metric()
-        tracker = PerformanceTracker(target=goal)
-        run_timeline = RunTimeline()
-        rounds: List[RoundResult] = []
+        if resume is not None:
+            tracker: PerformanceTracker = resume["tracker"]
+            run_timeline: RunTimeline = resume["run_timeline"]
+            rounds: List[RoundResult] = list(resume["rounds"])
+            start_round = int(resume["next_round"])
+        else:
+            tracker = PerformanceTracker(target=goal)
+            run_timeline = RunTimeline()
+            rounds = []
+            start_round = 0
         try:
-            for round_result in self.round_results(tuner, num_rounds):
-                rounds.append(round_result)
-                run_timeline.add(round_result.timeline)
-                tracker.record(
-                    round_index=round_result.round_index,
-                    simulated_time=round_result.simulated_time,
-                    metric_value=round_result.metric_value,
-                    train_loss=round_result.train_loss,
-                    comm_bytes=round_result.wire_bytes,
-                )
-                if stop_at_target and round_result.metric_value >= goal:
-                    break
+            if start_round < num_rounds:
+                # start_round is only passed when actually resuming, so custom
+                # Scheduler subclasses written against the historical
+                # two-argument round_results signature keep working for every
+                # non-durable run (checkpoint/resume requires the
+                # start_round-aware signature).
+                if start_round:
+                    results_iter = self.round_results(tuner, num_rounds,
+                                                      start_round=start_round)
+                else:
+                    results_iter = self.round_results(tuner, num_rounds)
+                for round_result in results_iter:
+                    rounds.append(round_result)
+                    run_timeline.add(round_result.timeline)
+                    tracker.record(
+                        round_index=round_result.round_index,
+                        simulated_time=round_result.simulated_time,
+                        metric_value=round_result.metric_value,
+                        train_loss=round_result.train_loss,
+                        comm_bytes=round_result.wire_bytes,
+                    )
+                    if checkpointer is not None and checkpointer.due(len(rounds)):
+                        checkpointer.save(tuner, self, tracker, run_timeline, rounds)
+                    if stop_at_target and round_result.metric_value >= goal:
+                        break
         finally:
             self.executor.close()
         return RunResult(method=tuner.name, tracker=tracker, timeline=run_timeline,
                          rounds=rounds)
 
     @abc.abstractmethod
-    def round_results(self, tuner: FederatedFineTuner,
-                      num_rounds: int) -> Iterator[RoundResult]:
-        """Yield one :class:`RoundResult` per aggregation round."""
+    def round_results(self, tuner: FederatedFineTuner, num_rounds: int,
+                      start_round: int = 0) -> Iterator[RoundResult]:
+        """Yield one :class:`RoundResult` per aggregation round.
+
+        ``start_round`` resumes the loop mid-run: rounds ``[start_round,
+        num_rounds)`` are produced, with any cross-round scheduler state
+        expected to have been restored via :meth:`restore_state` first.
+        """
+
+    # ------------------------------------------------------------- durability
+    def export_state(self) -> Dict:
+        """Picklable cross-round scheduler state (empty for stateless policies).
+
+        The synchronous and semi-synchronous schedulers carry no state
+        between rounds (faults are keyed by ``(round, participant)``, sampling
+        draws from the tuner's run RNG), so resuming them only needs
+        ``start_round``.  The asynchronous scheduler overrides this to
+        capture its in-flight event queue and buffer.
+        """
+        return {}
+
+    def restore_state(self, state: Dict, tuner: FederatedFineTuner) -> None:
+        """Restore an :meth:`export_state` snapshot (no-op for stateless policies)."""
 
     # ---------------------------------------------------------------- helpers
     def select(self, tuner: FederatedFineTuner, round_index: int) -> List[Participant]:
@@ -151,14 +200,18 @@ class Scheduler(abc.ABC):
                          timeline: RoundTimeline,
                          contributors: Sequence[Tuple[Participant, ParticipantRoundResult]]
                          ) -> Tuple[Dict[int, ParticipantRoundResult], List[float],
-                                    ChannelStats]:
+                                    ChannelStats, ChannelStats]:
         """Aggregate the contributors into the global model and fill ``timeline``.
 
         Updates flow through :meth:`FederatedFineTuner.transmit_updates` — a
         pass-through under the analytic transport, framed/metered/faultable
-        byte payloads under ``transport="wire"`` — and reach the server as a
-        generator, so with ``streaming_aggregation=True`` no more than one
-        client's decoded updates are ever buffered server-side.
+        byte payloads under ``transport="wire"`` — and reach the aggregation
+        topology as a generator, so with ``streaming_aggregation=True`` no
+        more than one client's decoded updates are ever buffered server-side.
+        :meth:`FederatedFineTuner.aggregate_round_updates` routes the stream
+        either straight into the (possibly sharded) server or through the
+        edge-aggregator tier; the second returned
+        :class:`~repro.comm.ChannelStats` meters that edge→root hop.
         """
         results: Dict[int, ParticipantRoundResult] = {}
         losses: List[float] = []
@@ -174,12 +227,11 @@ class Scheduler(abc.ABC):
                 stats.merge(transfer_stats)
                 yield from updates
 
-        streaming = tuner.config.streaming_aggregation
-        contributions = tuner.server.aggregate(delivered_updates(), streaming=streaming)
+        contributions, edge_stats = tuner.aggregate_round_updates(delivered_updates())
         num_updates = sum(contributions.values())
         timeline.server_time = tuner._server_aggregation_time(num_updates)
         tuner.after_aggregation(round_index, results)
-        return results, losses, stats
+        return results, losses, stats, edge_stats
 
     @staticmethod
     def _result_duration(result: ParticipantRoundResult) -> float:
@@ -191,9 +243,9 @@ class SyncScheduler(Scheduler):
 
     name = "sync"
 
-    def round_results(self, tuner: FederatedFineTuner,
-                      num_rounds: int) -> Iterator[RoundResult]:
-        for round_index in range(num_rounds):
+    def round_results(self, tuner: FederatedFineTuner, num_rounds: int,
+                      start_round: int = 0) -> Iterator[RoundResult]:
+        for round_index in range(start_round, num_rounds):
             round_result, _ = self.run_round(tuner, round_index)
             yield round_result
 
@@ -202,7 +254,7 @@ class SyncScheduler(Scheduler):
         """Execute one synchronous federated round."""
         selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
         timeline = RoundTimeline(round_index=round_index)
-        results, losses, wire = self._aggregate_round(
+        results, losses, wire, edge = self._aggregate_round(
             tuner, round_index, timeline,
             [(participant, result) for participant, result, _, _ in entries])
 
@@ -223,6 +275,9 @@ class SyncScheduler(Scheduler):
             wire_seconds=wire.seconds,
             payloads_lost=wire.lost,
             payloads_corrupted=wire.corrupted,
+            edge_bytes=edge.total_bytes,
+            edge_seconds=edge.seconds,
+            edge_payloads=edge.payloads,
         )
         return round_result, results
 
@@ -242,9 +297,9 @@ class SemiSyncScheduler(Scheduler):
         self.deadline_seconds = deadline_seconds
         self.deadline_quantile = deadline_quantile
 
-    def round_results(self, tuner: FederatedFineTuner,
-                      num_rounds: int) -> Iterator[RoundResult]:
-        for round_index in range(num_rounds):
+    def round_results(self, tuner: FederatedFineTuner, num_rounds: int,
+                      start_round: int = 0) -> Iterator[RoundResult]:
+        for round_index in range(start_round, num_rounds):
             yield self._run_round(tuner, round_index)
 
     def _round_deadline(self, durations: Sequence[float]) -> float:
@@ -270,7 +325,8 @@ class SemiSyncScheduler(Scheduler):
         num_stragglers = len(queue)
 
         timeline = RoundTimeline(round_index=round_index)
-        results, losses, wire = self._aggregate_round(tuner, round_index, timeline, arrivals)
+        results, losses, wire, edge = self._aggregate_round(tuner, round_index, timeline,
+                                                            arrivals)
 
         duration = deadline + timeline.server_time
         timeline.duration_override = duration
@@ -290,7 +346,36 @@ class SemiSyncScheduler(Scheduler):
             wire_seconds=wire.seconds,
             payloads_lost=wire.lost,
             payloads_corrupted=wire.corrupted,
+            edge_bytes=edge.total_bytes,
+            edge_seconds=edge.seconds,
+            edge_payloads=edge.payloads,
         )
+
+
+@dataclass
+class _AsyncLoopState:
+    """Cross-round state of one asynchronous run (checkpointable).
+
+    Everything the FedBuff loop used to keep in generator locals lives here
+    so :meth:`AsyncScheduler.export_state` can snapshot it between rounds and
+    :meth:`AsyncScheduler.restore_state` can put a resumed run back exactly
+    where the interrupted one stopped — in-flight trained-but-unaggregated
+    results included.
+    """
+
+    version: int = 0
+    task_counter: int = 0
+    active: set = dataclasses_field(default_factory=set)
+    buffer: List[dict] = dataclasses_field(default_factory=list)
+    dropped_since_aggregation: int = 0
+    last_aggregation_time: float = 0.0
+    events_this_round: int = 0
+    queue: EventQueue = dataclasses_field(default_factory=EventQueue)
+    #: simulated time of the last processed finish event; with
+    #: ``pending_refill`` it lets a resumed run replay the post-aggregation
+    #: slot refill the interrupted run had not performed yet
+    last_event_time: float = 0.0
+    pending_refill: bool = False
 
 
 class AsyncScheduler(Scheduler):
@@ -323,90 +408,193 @@ class AsyncScheduler(Scheduler):
         self.buffer_size = buffer_size
         self.staleness_exponent = staleness_exponent
         self.concurrency = concurrency
+        #: in-flight loop state — populated while :meth:`round_results` runs so
+        #: a checkpoint taken between rounds can capture and later restore it
+        self._st: Optional[_AsyncLoopState] = None
 
     def staleness_discount(self, staleness: int) -> float:
-        """FedBuff's polynomial staleness discount for an update's weight."""
-        return float((1.0 + max(staleness, 0)) ** -self.staleness_exponent)
+        """FedBuff's polynomial staleness discount for an update's weight.
 
-    def round_results(self, tuner: FederatedFineTuner,
-                      num_rounds: int) -> Iterator[RoundResult]:
+        Delegates to the canonical implementation in
+        :mod:`repro.federated.strategies`, which also backs the
+        ``staleness_fedavg`` aggregation strategy.
+        """
+        from ..federated.strategies import staleness_discount
+
+        return staleness_discount(staleness, self.staleness_exponent)
+
+    # ------------------------------------------------------------- durability
+    def export_state(self) -> Dict:
+        """The in-flight queue, buffer and counters, with picklable handles.
+
+        Participants are referenced by id (re-bound on restore); the pending
+        :class:`~repro.federated.orchestrator.ParticipantRoundResult` objects
+        travel whole — they hold the already-trained updates whose work must
+        not be redone (and could not be replayed bit-identically, since the
+        interrupted run consumed RNG draws producing them).
+        """
+        st = self._st
+        if st is None:
+            return {}
+        return {
+            "version": st.version,
+            "task_counter": st.task_counter,
+            "active": sorted(st.active),
+            "events_this_round": st.events_this_round,
+            "dropped_since_aggregation": st.dropped_since_aggregation,
+            "last_aggregation_time": st.last_aggregation_time,
+            "last_event_time": st.last_event_time,
+            "pending_refill": st.pending_refill,
+            "buffer": [
+                {
+                    "participant_id": entry["participant"].participant_id,
+                    "result": entry["result"],
+                    "start_version": entry["start_version"],
+                    "finish_time": entry["finish_time"],
+                }
+                for entry in st.buffer
+            ],
+            "pending": [
+                {
+                    "time": event.time,
+                    "participant_id": event.payload["participant"].participant_id,
+                    "result": event.payload["result"],
+                    "start_version": event.payload["start_version"],
+                    "dropped": event.payload["dropped"],
+                }
+                for event in st.queue.snapshot()
+            ],
+        }
+
+    def restore_state(self, state: Dict, tuner: FederatedFineTuner) -> None:
+        if not state:
+            return
+        st = _AsyncLoopState()
+        st.version = int(state["version"])
+        st.task_counter = int(state["task_counter"])
+        st.active = set(state["active"])
+        st.events_this_round = int(state["events_this_round"])
+        st.dropped_since_aggregation = int(state["dropped_since_aggregation"])
+        st.last_aggregation_time = float(state["last_aggregation_time"])
+        st.last_event_time = float(state["last_event_time"])
+        st.pending_refill = bool(state["pending_refill"])
+        st.buffer = [
+            {
+                "participant": tuner.participant_by_id(entry["participant_id"]),
+                "result": entry["result"],
+                "start_version": entry["start_version"],
+                "finish_time": entry["finish_time"],
+            }
+            for entry in state["buffer"]
+        ]
+        # Events re-push in firing order, so the rebuilt heap pops (time, seq)
+        # ties exactly as the interrupted run would have.
+        for pending in state["pending"]:
+            st.queue.push(pending["time"], "finish",
+                          participant=tuner.participant_by_id(pending["participant_id"]),
+                          result=pending["result"],
+                          start_version=pending["start_version"],
+                          dropped=pending["dropped"])
+        self._st = st
+
+    # ------------------------------------------------------------------- loop
+    def round_results(self, tuner: FederatedFineTuner, num_rounds: int,
+                      start_round: int = 0) -> Iterator[RoundResult]:
         config = tuner.config
         concurrency = self.concurrency or config.participants_per_round or len(tuner.participants)
         concurrency = min(concurrency, len(tuner.participants))
-        queue = EventQueue()
-        active: set = set()
-        version = 0
-        task_counter = 0
-        buffer: List[dict] = []
-        dropped_since_aggregation = 0
-        last_aggregation_time = 0.0
+        if start_round > 0:
+            if self._st is None or self._st.version != start_round:
+                raise ValueError(
+                    "resuming the async scheduler mid-run requires its restored "
+                    "loop state (see runtime.checkpoint.restore_run_state)")
+            st = self._st
+        else:
+            st = self._st = _AsyncLoopState()
 
         def start_client(now: float) -> bool:
-            nonlocal task_counter
-            idle = [p for p in tuner.participants if p.participant_id not in active]
-            picked = self._sample(tuner, idle, 1, version) if idle else []
+            idle = [p for p in tuner.participants if p.participant_id not in st.active]
+            picked = self._sample(tuner, idle, 1, st.version) if idle else []
             if not picked:
                 # Nobody idle (or the availability trace left nobody online).
                 return False
             participant = picked[0]
-            active.add(participant.participant_id)
-            tuner.before_round(version, [participant])
-            result = tuner.participant_round(participant, version)
-            fault = self.faults.outcome(task_counter, participant.participant_id)
-            task_counter += 1
+            st.active.add(participant.participant_id)
+            tuner.before_round(st.version, [participant])
+            result = tuner.participant_round(participant, st.version)
+            fault = self.faults.outcome(st.task_counter, participant.participant_id)
+            st.task_counter += 1
             if fault.is_straggler:
                 result = replace(result,
                                  breakdown=scale_breakdown(result.breakdown, fault.slowdown))
             duration = self._result_duration(result)
-            queue.push(now + duration, "finish", participant=participant, result=result,
-                       start_version=version, dropped=fault.dropped)
+            st.queue.push(now + duration, "finish", participant=participant, result=result,
+                          start_version=st.version, dropped=fault.dropped)
             return True
 
         def refill_slots(now: float) -> None:
             """Start clients until every concurrency slot is busy (or nobody
             can start) — slots lost to an empty sample earlier are recovered."""
-            while len(active) < concurrency:
+            while len(st.active) < concurrency:
                 if not start_client(now):
                     break
 
-        # If nobody can start at all (e.g. an availability trace with no one
-        # online at version 0), the queue stays empty and the run ends early
-        # with the rounds produced so far.
-        refill_slots(0.0)
+        if start_round == 0:
+            # If nobody can start at all (e.g. an availability trace with no
+            # one online at version 0), the queue stays empty and the run ends
+            # early with the rounds produced so far.
+            refill_slots(0.0)
+        elif st.pending_refill:
+            # The interrupted run was checkpointed at a yield point, *before*
+            # its post-aggregation refill ran.  Replaying the refill here —
+            # with the restored RNG and the restored event time — reproduces
+            # exactly the client starts the uninterrupted run performed when
+            # its caller pulled the next round.
+            st.pending_refill = False
+            refill_slots(st.last_event_time)
 
-        events_this_round = 0
-        while version < num_rounds and queue:
-            event = queue.pop()
+        while st.version < num_rounds and st.queue:
+            event = st.queue.pop()
             now = event.time
+            st.last_event_time = now
             participant = event.payload["participant"]
-            active.discard(participant.participant_id)
-            events_this_round += 1
-            if events_this_round > self.MAX_EVENTS_PER_ROUND:
+            st.active.discard(participant.participant_id)
+            st.events_this_round += 1
+            if st.events_this_round > self.MAX_EVENTS_PER_ROUND:
                 raise RuntimeError(
                     "async federation starved: no aggregation within "
                     f"{self.MAX_EVENTS_PER_ROUND} client finishes (check dropout_prob)")
             if event.payload["dropped"]:
-                dropped_since_aggregation += 1
+                st.dropped_since_aggregation += 1
             else:
-                buffer.append({
+                st.buffer.append({
                     "participant": participant,
                     "result": event.payload["result"],
                     "start_version": event.payload["start_version"],
                     "finish_time": now,
                 })
-            if len(buffer) >= self.buffer_size:
-                round_result = self._aggregate(tuner, version, buffer,
-                                               dropped_since_aggregation, now,
-                                               last_aggregation_time)
-                last_aggregation_time = now + round_result.timeline.server_time
-                buffer = []
-                dropped_since_aggregation = 0
-                version += 1
-                events_this_round = 0
+            if len(st.buffer) >= self.buffer_size:
+                round_result = self._aggregate(tuner, st.version, st.buffer,
+                                               st.dropped_since_aggregation, now,
+                                               st.last_aggregation_time)
+                st.last_aggregation_time = now + round_result.timeline.server_time
+                st.buffer = []
+                st.dropped_since_aggregation = 0
+                st.version += 1
+                st.events_this_round = 0
+                # The post-aggregation refill runs only if the caller keeps
+                # consuming rounds: a run that stops here (num_rounds reached,
+                # stop_at_target) never trains clients it would then discard.
+                # A checkpoint taken at this yield records the refill as
+                # pending and replays it on resume (see above).
+                st.pending_refill = True
                 yield round_result
-            # Freed (and any previously unfillable) slots restart on the
-            # post-aggregation model.
-            refill_slots(now)
+                st.pending_refill = False
+                # Freed (and any previously unfillable) slots restart on the
+                # post-aggregation model.
+                refill_slots(now)
+            else:
+                refill_slots(now)
 
     def _aggregate(self, tuner: FederatedFineTuner, version: int, buffer: List[dict],
                    num_dropped: int, now: float,
@@ -419,12 +607,12 @@ class AsyncScheduler(Scheduler):
             discount = self.staleness_discount(staleness)
             result = entry["result"]
             discounted = replace(result, updates=[
-                replace(update, weight=update.weight * discount)
+                replace(update, weight=update.weight * discount, staleness=staleness)
                 for update in result.updates])
             contributors.append((entry["participant"], discounted))
 
         timeline = RoundTimeline(round_index=version)
-        _, losses, wire = self._aggregate_round(tuner, version, timeline, contributors)
+        _, losses, wire, edge = self._aggregate_round(tuner, version, timeline, contributors)
 
         duration = max(now + timeline.server_time - last_aggregation_time, 0.0)
         timeline.duration_override = duration
@@ -444,6 +632,9 @@ class AsyncScheduler(Scheduler):
             wire_seconds=wire.seconds,
             payloads_lost=wire.lost,
             payloads_corrupted=wire.corrupted,
+            edge_bytes=edge.total_bytes,
+            edge_seconds=edge.seconds,
+            edge_payloads=edge.payloads,
         )
 
 

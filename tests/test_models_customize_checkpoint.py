@@ -124,3 +124,85 @@ class TestCheckpoints:
         save_checkpoint(model, path)
         loaded = load_checkpoint(path)
         assert loaded.local_experts_per_layer() == [2, 4]
+
+
+class TestSaveCheckpointReturnPath:
+    """Regression: the returned path must name the file np.savez actually wrote."""
+
+    @pytest.mark.parametrize("name", ["model", "model.npz", "model.npz.bak",
+                                      "model.NPZ"])
+    def test_returned_path_exists_for_any_suffix(self, tiny_model, tmp_path, name):
+        returned = save_checkpoint(tiny_model, os.path.join(tmp_path, name))
+        assert os.path.exists(returned), returned
+        assert returned.endswith(".npz")
+        # Exactly one file was written and it is the one reported.
+        assert os.listdir(tmp_path) == [os.path.basename(returned)]
+
+    def test_accepts_pathlike(self, tiny_model, tmp_path):
+        returned = save_checkpoint(tiny_model, tmp_path / "nested" / "ckpt")
+        assert os.path.exists(returned)
+        assert returned.endswith(os.path.join("nested", "ckpt.npz"))
+
+    def test_returned_path_loads_back(self, tiny_model, tmp_path):
+        returned = save_checkpoint(tiny_model, os.path.join(tmp_path, "noext"))
+        loaded = load_checkpoint(returned)
+        for (_, a), (_, b) in zip(tiny_model.named_parameters(),
+                                  loaded.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+
+
+class TestCompactModelRoundTrips:
+    """load_model(exps_config=...) round-trips for customized/compact models."""
+
+    def test_compact_reload_preserves_all_retained_experts(self, tiny_model, tmp_path):
+        path = save_checkpoint(tiny_model, os.path.join(tmp_path, "full"))
+        compact = load_model(path, exps_config={0: 2, 1: 3})
+        assert compact.local_experts_per_layer() == [2, 3]
+        # Experts are retained in original-id order; every kept slot must hold
+        # the exact pre-trained parameters.
+        for layer, kept in enumerate([2, 3]):
+            for slot in range(kept):
+                assert np.array_equal(
+                    compact.get_expert(layer, slot).weight_vector(),
+                    tiny_model.get_expert(layer, slot).weight_vector())
+
+    def test_compact_reload_preserves_non_expert_parameters(self, tiny_model, tmp_path):
+        path = save_checkpoint(tiny_model, os.path.join(tmp_path, "full"))
+        compact = load_model(path, exps_config=2)
+        full_state = tiny_model.state_dict()
+        compact_state = compact.state_dict()
+        shared = [name for name in compact_state
+                  if "expert" not in name and "gate" not in name]
+        assert shared
+        for name in shared:
+            assert np.array_equal(compact_state[name], full_state[name]), name
+
+    def test_compact_checkpoint_roundtrips_as_saved_architecture(self, tiny_model,
+                                                                 tmp_path):
+        """Save a compact model, reload it, and reload it compacted further."""
+        first = save_checkpoint(tiny_model, os.path.join(tmp_path, "full"))
+        compact = load_model(first, exps_config=[3, 3])
+        second = save_checkpoint(compact, os.path.join(tmp_path, "compact"))
+
+        reloaded = load_checkpoint(second)
+        assert reloaded.local_experts_per_layer() == [3, 3]
+        for (_, a), (_, b) in zip(compact.named_parameters(),
+                                  reloaded.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+
+        smaller = load_model(second, exps_config=2)
+        assert smaller.local_experts_per_layer() == [2, 2]
+        for layer in range(2):
+            for slot in range(2):
+                assert np.array_equal(
+                    smaller.get_expert(layer, slot).weight_vector(),
+                    compact.get_expert(layer, slot).weight_vector())
+
+    def test_compact_model_trains_after_reload(self, tiny_model, tmp_path, vocab,
+                                               gsm_batches):
+        path = save_checkpoint(tiny_model, os.path.join(tmp_path, "full"))
+        compact = load_model(path, exps_config=2)
+        batch = gsm_batches[0]
+        loss = compact.compute_loss(batch.input_ids, labels=batch.labels,
+                                    attention_mask=batch.attention_mask)
+        assert np.isfinite(loss.item())
