@@ -293,6 +293,265 @@ def run_suite(quick: bool) -> Dict:
     return suite
 
 
+# ------------------------------------------------------- aggregation suite
+#: benchmarked root shard counts (1 = the flat serial baseline shape)
+AGG_SHARD_COUNTS = (1, 4, 8)
+#: benchmarked aggregation-tree shapes, depth 1/2/3
+AGG_TREE_TIERS = ((8,), (8, 4), (8, 4, 2))
+AGG_PRESET = "tiny_moe"
+
+
+def _make_aggregation_updates(participants: int):
+    """A fleet's worth of expert updates against a fresh preset model."""
+    from repro.federated import ExpertUpdate
+    from repro.models import MoETransformer
+    from repro.models.presets import get_preset
+
+    model = MoETransformer(get_preset(AGG_PRESET.replace("_", "-")))
+    rng = np.random.default_rng(0)
+    updates = []
+    for pid in range(participants):
+        for layer, expert in model.iter_expert_ids():
+            state = {name: value + 0.01 * rng.normal(size=value.shape)
+                     for name, value in model.expert_state(layer, expert).items()}
+            updates.append(ExpertUpdate(pid, layer, expert, state,
+                                        weight=float(pid % 3 + 1)))
+    return model, updates
+
+
+def _bench_shard_fold(updates, num_shards: int, iters: int, reps: int,
+                      pool) -> Dict:
+    """Serial vs pooled fold of one round's updates at ``num_shards`` shards.
+
+    Three measurements, interleaved per repetition so host-load drift cancels
+    out of the ratios:
+
+    * ``serial_wire_fold_s`` — the serial baseline: decode every wire frame
+      and fold, on one thread.  This is exactly what the root of a
+      ``transport="wire"`` deployment does today, and exactly the total work
+      the pooled path partitions — the headline speedup compares like with
+      like.  ``serial_inmemory_fold_s`` (the analytic-transport fold, no
+      decode) is recorded alongside for transparency.
+    * per-shard worker jobs + the parent merge, each timed in isolation; their
+      combination ``critical_path_s = max(job) + merge`` is the fold wall-clock
+      on a host with >= ``num_shards`` cores (workers only wait for the
+      slowest shard).  Measuring jobs serially keeps the number honest on
+      constrained hosts, where concurrently scheduled workers would timeshare
+      one core and inflate each other's wall time.
+    * ``pooled_wall_s`` — the real process-pool fold on *this* host, IPC and
+      (single-core) timesharing included.
+    """
+    from repro.comm import decode_state_dict, decode_update
+    from repro.federated import ShardedParameterServer
+    from repro.models import MoETransformer
+    from repro.models.presets import get_preset
+    from repro.runtime.executor import _fold_shard_frames, frame_update
+
+    config = get_preset(AGG_PRESET.replace("_", "-"))
+    serial_server = ShardedParameterServer(MoETransformer(config),
+                                           num_shards=num_shards)
+    all_framed = [frame_update(update) for update in updates]
+    shard_framed = [[] for _ in range(num_shards)]
+    for update, framed in zip(updates, all_framed):
+        shard_framed[serial_server.shard_of(update.key)].append(framed)
+    worker_results = [_fold_shard_frames(None, False, framed)
+                      for framed in shard_framed if framed]
+    merge_model = MoETransformer(config)
+
+    def serial_wire():
+        serial_server.aggregate([decode_update(frame) for frame, _ in all_framed])
+
+    def merge():
+        for shard_result in worker_results:
+            for (layer, expert), state_frame, _ in shard_result:
+                merge_model.load_expert_state(layer, expert,
+                                              decode_state_dict(state_frame))
+
+    fns = {"serial_inmemory": {"fold": lambda: serial_server.aggregate(list(updates))},
+           "serial_wire": {"fold": serial_wire},
+           "merge": {"fold": merge}}
+    for shard, framed in enumerate(shard_framed):
+        if framed:
+            fns[f"job{shard}"] = {
+                "fold": lambda framed=framed: _fold_shard_frames(None, False, framed)}
+    if num_shards > 1:
+        pooled_server = ShardedParameterServer(MoETransformer(config),
+                                               num_shards=num_shards)
+        pooled_server.fold_pool = pool
+        fns["pooled"] = {"fold": lambda: pooled_server.aggregate(list(updates))}
+
+    times = _interleaved_best_times(fns, iters, reps)
+    serial_s = times["serial_wire"]["fold"]
+    job_s = [times[name]["fold"] for name in times if name.startswith("job")]
+    critical_s = max(job_s) + times["merge"]["fold"]
+    result = {
+        "serial_wire_fold_s": serial_s,
+        "serial_updates_per_s": len(updates) / serial_s,
+        "serial_inmemory_fold_s": times["serial_inmemory"]["fold"],
+        "serial_inmemory_updates_per_s":
+            len(updates) / times["serial_inmemory"]["fold"],
+        "shard_job_s": job_s,
+        "merge_s": times["merge"]["fold"],
+        "critical_path_s": critical_s,
+        "critical_path_updates_per_s": len(updates) / critical_s,
+        "speedup_critical_path_vs_serial": serial_s / critical_s,
+        "speedup_critical_path_vs_serial_inmemory":
+            times["serial_inmemory"]["fold"] / critical_s,
+    }
+    if "pooled" in times:
+        result["pooled_wall_s"] = times["pooled"]["fold"]
+        result["pooled_wall_updates_per_s"] = len(updates) / times["pooled"]["fold"]
+        result["speedup_pooled_wall_vs_serial"] = serial_s / times["pooled"]["fold"]
+    return result
+
+
+def _bench_tree_fold(updates, tiers, iters: int, reps: int, pool) -> Dict:
+    """Serial vs pooled N-tier tree aggregation of one round's updates.
+
+    The serial baseline decodes the participant wire frames and runs the
+    serial tree fold — the work of a wire deployment's aggregation plane on
+    one thread, and the exact total the pooled path partitions.
+    ``critical_path_s`` combines the slowest tier-0 node pre-fold job
+    (decode + fold, isolated-timed as for shards) with the measured
+    non-parallel remainder (channel hops, inner-tier folds, root aggregate)
+    = ``serial_s - decode_s - leaf_fold_s``.
+    """
+    from repro.comm import decode_update, get_codec
+    from repro.federated import AggregationTree, ParameterServer
+    from repro.models import MoETransformer
+    from repro.models.presets import get_preset
+    from repro.runtime.executor import _prefold_node_frames, frame_update
+
+    config = get_preset(AGG_PRESET.replace("_", "-"))
+    tree = AggregationTree(tiers)
+    server = ParameterServer(MoETransformer(config))
+    codec = get_codec("fp64")
+    all_framed = [frame_update(update, codec) for update in updates]
+    node_framed: Dict[int, list] = {}
+    for update, framed in zip(updates, all_framed):
+        node_framed.setdefault(tree.edge_of(update.participant_id), []).append(framed)
+
+    def serial_wire():
+        tree.aggregate(server, iter([decode_update(frame) for frame, _ in all_framed]))
+
+    def leaf_fold():
+        tree.reset_round_metrics()
+        tree._fold_leaf_tier(iter(updates), None, None, codec)
+
+    fns = {
+        "serial_wire": {"fold": serial_wire},
+        "decode": {"fold": lambda: [decode_update(frame) for frame, _ in all_framed]},
+        "leaf": {"fold": leaf_fold},
+        "pooled": {"fold": lambda: tree.aggregate(server, iter(updates), pool=pool)},
+    }
+    for node, framed in sorted(node_framed.items()):
+        fns[f"job{node}"] = {
+            "fold": lambda node=node, framed=framed: _prefold_node_frames(
+                None, tree.pseudo_id(0, node), framed)}
+
+    times = _interleaved_best_times(fns, iters, reps)
+    serial_s = times["serial_wire"]["fold"]
+    job_s = [times[name]["fold"] for name in times if name.startswith("job")]
+    remainder_s = max(serial_s - times["decode"]["fold"] - times["leaf"]["fold"], 0.0)
+    critical_s = max(job_s) + remainder_s
+    return {
+        "depth": len(tiers),
+        "serial_wire_s": serial_s,
+        "serial_updates_per_s": len(updates) / serial_s,
+        "pooled_wall_s": times["pooled"]["fold"],
+        "decode_s": times["decode"]["fold"],
+        "leaf_fold_s": times["leaf"]["fold"],
+        "node_job_s": job_s,
+        "remainder_s": remainder_s,
+        "critical_path_s": critical_s,
+        "critical_path_updates_per_s": len(updates) / critical_s,
+        "speedup_critical_path_vs_serial": serial_s / critical_s,
+    }
+
+
+def run_aggregation_suite(quick: bool) -> Dict:
+    """The aggregation-throughput benchmark family (``--suite aggregation``)."""
+    from repro.runtime import AggregationPool
+
+    # Quick mode trims repetitions but keeps the full workload shape: the
+    # gated speedups depend on the serial/parallel split of the work, so
+    # shrinking the fleet would move the ratios, not just the noise.
+    participants = 64
+    iters = 2 if quick else 4
+    reps = 3 if quick else 6
+    model, updates = _make_aggregation_updates(participants)
+    pool = AggregationPool()
+    try:
+        pool.prefold_nodes(None, [(0, -1, [])])  # spawn workers outside the timings
+        shards = {str(n): _bench_shard_fold(updates, n, iters, reps, pool)
+                  for n in AGG_SHARD_COUNTS}
+        tree = {"x".join(map(str, tiers)): _bench_tree_fold(updates, tiers, iters,
+                                                            reps, pool)
+                for tiers in AGG_TREE_TIERS}
+    finally:
+        pool.close()
+    return {
+        "preset": AGG_PRESET,
+        "participants": participants,
+        "num_keys": len(list(model.iter_expert_ids())),
+        "num_updates": len(updates),
+        "host_cpus": os.cpu_count(),
+        "note": ("serial baseline = one thread decoding + folding the round's "
+                 "wire frames (what a transport='wire' root does); "
+                 "critical_path_s = max(isolated per-shard/node decode+fold "
+                 "job) + measured merge/remainder: the fold wall-clock on a "
+                 "host with >= num_shards cores partitioning that same work. "
+                 "pooled_wall_s is the real process pool on this host "
+                 "(single-core hosts timeshare, so it shows IPC overhead "
+                 "rather than speedup); serial_inmemory_* is the analytic-"
+                 "transport fold that never decodes, for transparency."),
+        "shards": shards,
+        "tree": tree,
+        "headline_speedup_8shards":
+            shards["8"]["speedup_critical_path_vs_serial"],
+    }
+
+
+def check_aggregation_regression(current: Dict, baseline_path: str,
+                                 tolerance: float) -> int:
+    """Gate the machine-independent critical-path speedups vs the baseline."""
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    failures = []
+
+    def gate(section: str, name: str, entry: Dict, ref_entry: Dict) -> None:
+        ref = ref_entry.get("speedup_critical_path_vs_serial")
+        if not ref:
+            return
+        cur = entry.get("speedup_critical_path_vs_serial")
+        if not cur:
+            # A committed baseline entry the current run never produced is a
+            # broken gate, not a pass — otherwise a partial suite (or renamed
+            # shard/tier configs) would silently stop gating anything.
+            print(f"[MISSING] aggregation/{section}/{name}: committed "
+                  f"{ref:.2f}x has no current measurement")
+            failures.append((section, name, None, ref))
+            return
+        floor = (1.0 - tolerance) * ref
+        status = "OK" if cur >= floor else "REGRESSION"
+        print(f"[{status}] aggregation/{section}/{name}: current {cur:.2f}x vs "
+              f"committed {ref:.2f}x (floor {floor:.2f}x)")
+        if cur < floor:
+            failures.append((section, name, cur, ref))
+
+    committed_agg = committed.get("aggregation", {})
+    current_agg = current.get("aggregation", {})
+    for section in ("shards", "tree"):
+        for name, ref_entry in committed_agg.get(section, {}).items():
+            gate(section, name, current_agg.get(section, {}).get(name, {}), ref_entry)
+    if failures:
+        print(f"FAILED: {len(failures)} aggregation speedup(s) regressed more "
+              f"than {tolerance:.0%} (or went unmeasured) vs {baseline_path}")
+        return 1
+    print(f"All aggregation speedups within {tolerance:.0%} of {baseline_path}")
+    return 0
+
+
 # --------------------------------------------------------------- seed worker
 def _worker(spec_json: str) -> None:
     """Run one benchmark family in-process and print JSON (seed subprocess)."""
@@ -384,8 +643,14 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller token counts / fewer repetitions (CI smoke)")
-    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_hotpath.json"),
-                        help="where to write the results JSON")
+    parser.add_argument("--suite", choices=("hotpath", "aggregation"),
+                        default="hotpath",
+                        help="hotpath: MoE dispatch/training throughput (default); "
+                             "aggregation: server-side fold throughput, serial vs "
+                             "pooled, across shard counts and tree depths")
+    parser.add_argument("--output", default=None,
+                        help="where to write the results JSON (default: "
+                             "BENCH_hotpath.json or BENCH_aggregation.json by suite)")
     parser.add_argument("--check", metavar="BASELINE",
                         help="compare speedups against a committed baseline JSON; "
                              "exit 1 on regression beyond --tolerance")
@@ -401,24 +666,46 @@ def main(argv=None) -> int:
         _worker(args.worker)
         return 0
 
+    default_output = ("BENCH_hotpath.json" if args.suite == "hotpath"
+                      else "BENCH_aggregation.json")
+    output = args.output or os.path.join(REPO_ROOT, default_output)
     result = {
         "meta": {
             "schema": 1,
+            "suite": args.suite,
             "quick": bool(args.quick),
             "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
-        "presets": run_suite(args.quick),
     }
-    if args.seed_src:
-        result["seed_reference"] = bench_seed_reference(args.seed_src, args.quick)
+    if args.suite == "aggregation":
+        result["aggregation"] = run_aggregation_suite(args.quick)
+    else:
+        result["presets"] = run_suite(args.quick)
+        if args.seed_src:
+            result["seed_reference"] = bench_seed_reference(args.seed_src, args.quick)
 
-    with open(args.output, "w") as handle:
+    with open(output, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=False)
         handle.write("\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
+    if args.suite == "aggregation":
+        agg = result["aggregation"]
+        for shards, entry in agg["shards"].items():
+            print(f"  {shards} shard(s): serial {entry['serial_updates_per_s']:,.0f} "
+                  f"updates/s, critical-path speedup "
+                  f"{entry['speedup_critical_path_vs_serial']:.2f}x")
+        for name, entry in agg["tree"].items():
+            print(f"  tree {name} (depth {entry['depth']}): serial "
+                  f"{entry['serial_updates_per_s']:,.0f} updates/s, critical-path "
+                  f"speedup {entry['speedup_critical_path_vs_serial']:.2f}x")
+        print(f"  headline: {agg['headline_speedup_8shards']:.2f}x fold throughput "
+              "at 8 shards (critical path vs serial)")
+        if args.check:
+            return check_aggregation_regression(result, args.check, args.tolerance)
+        return 0
     for preset, families in result["presets"].items():
         print(f"  {preset}: hot-loop fwd+bwd speedup "
               f"{families['hot_loop']['speedup_batched_f32_vs_loop_f64']:.2f}x, "

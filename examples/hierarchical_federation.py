@@ -10,14 +10,25 @@ away from the flat defaults:
   edge aggregators, which pre-fold their group's updates and forward one
   wire-framed partial aggregate per expert over a metered edge→root channel.
   The per-round backhaul traffic surfaces as ``RoundResult.edge_bytes``.
+  Because every participant has a cost model, the participant→edge assignment
+  is **cost-aware** by default: a greedy bin-pack on upload cost balances the
+  per-edge upload makespan instead of ``pid % num_edges``.
 * **Trimmed-mean aggregation** (``aggregation="trimmed_mean"``): per
   coordinate, the extreme contributions are trimmed before averaging —
   robust to corrupted or adversarial clients.
 
+It then scales the topology to a **3-tier parallel tree**
+(``edge_tiers=(3, 2)``: participants → 3 edges → 2 super-edges → root) with
+the whole fold plane behind a process pool
+(``aggregation_executor="process"``): expert shards fold concurrently and
+tier-0 nodes pre-fold their subtree in workers — bit-identical to the serial
+fold, with per-tier backhaul metrics in ``RoundResult.tier_bytes``.
+
 On top of that the run is **durable**: every 2 rounds the full run state
-(model, metrics, RNG streams, scheduler position) is checkpointed, the run is
-"killed" halfway, resumed from the latest snapshot, and the resumed result is
-verified to match an uninterrupted reference run exactly.
+(model, metrics, RNG streams, per-tier channel positions, scheduler position)
+is checkpointed — with ``checkpoint_keep_last=2`` pruning older snapshots —
+the run is "killed" halfway, resumed from the latest snapshot, and the
+resumed result is verified to match an uninterrupted reference run exactly.
 
 Run with:  python examples/hierarchical_federation.py
 """
@@ -67,8 +78,8 @@ def build_tuner(run_config: RunConfig, num_clients: int = 12, seed: int = 0):
                         config=run_config)
 
 
-def topology_config(checkpoint_dir: str | None = None) -> RunConfig:
-    return RunConfig(
+def topology_config(checkpoint_dir: str | None = None, **overrides) -> RunConfig:
+    knobs = dict(
         batch_size=8, max_local_batches=1, learning_rate=1e-2,
         eval_max_samples=24, seed=0, participants_per_round=6,
         # --- the aggregation topology ---
@@ -80,6 +91,20 @@ def topology_config(checkpoint_dir: str | None = None) -> RunConfig:
         # --- durability ---
         checkpoint_every=CHECKPOINT_EVERY if checkpoint_dir else 0,
         checkpoint_dir=checkpoint_dir,
+        checkpoint_keep_last=2,
+    )
+    knobs.update(overrides)
+    return RunConfig(**knobs)
+
+
+def three_tier_parallel_config(checkpoint_dir: str | None = None) -> RunConfig:
+    """The 3-tier tree with the fold plane behind the process pool."""
+    return topology_config(
+        checkpoint_dir,
+        num_edge_aggregators=0,            # superseded by the explicit tiers
+        edge_tiers=(3, 2),                 # participants -> 3 edges -> 2 super-edges -> root
+        aggregation_executor="process",    # pooled shard folds + tier-0 pre-folds
+        aggregation_workers=2,
     )
 
 
@@ -99,11 +124,25 @@ def main() -> None:
           f"{sharded.last_shard_contributions}")
     print(f"edge tier (client updates folded per edge, last round): "
           f"{reference_tuner.topology.last_edge_counts}")
+    print(f"edge grouping: {reference_tuner.topology.grouping.name} "
+          "(greedy bin-pack on each participant's upload cost)")
+
+    print("\n3-tier parallel tree: participants -> 3 edges -> 2 super-edges "
+          "-> 4 shards, folds in a process pool")
+    parallel_tuner = build_tuner(three_tier_parallel_config())
+    parallel = parallel_tuner.run(num_rounds=2)
+    print(f"topology: {parallel_tuner.topology.describe()}")
+    for r in parallel.rounds:
+        per_tier = ", ".join(
+            f"tier{k}: {bytes_ / 1024:.1f} KiB / {payloads} partials"
+            for k, (bytes_, payloads) in enumerate(zip(r.tier_bytes,
+                                                       r.tier_payloads)))
+        print(f"  round {r.round_index}: {per_tier}")
 
     with tempfile.TemporaryDirectory(prefix="hier-fed-ckpt-") as workdir:
         checkpoint_dir = os.path.join(workdir, "checkpoints")
-        print(f"\ndurable run: checkpoint every {CHECKPOINT_EVERY} rounds, "
-              f"'killed' after round {CHECKPOINT_EVERY}")
+        print(f"\ndurable run: checkpoint every {CHECKPOINT_EVERY} rounds "
+              f"(keeping the newest 2), 'killed' after round {CHECKPOINT_EVERY}")
         killed = build_tuner(topology_config(checkpoint_dir))
         killed.run(num_rounds=CHECKPOINT_EVERY)  # the coordinator dies here
 

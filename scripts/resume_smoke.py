@@ -1,6 +1,6 @@
 """CI resume-smoke: kill a federated run mid-flight, resume it, assert equality.
 
-Three phases:
+For every configuration in the matrix, three phases:
 
 1. **reference** — an uninterrupted ``NUM_ROUNDS``-round run (in-process).
 2. **kill** — the same run re-launched as a *subprocess* with checkpointing
@@ -11,8 +11,17 @@ Three phases:
    finishes the run; its :class:`~repro.federated.RunResult` and final model
    parameters must match the reference *exactly*.
 
+Matrix:
+
+* ``sharded-edges`` — 2 expert shards, one edge tier, trimmed mean (the
+  historical smoke).
+* ``pooled-tree`` — 3-tier aggregation tree (participants → 2 edges →
+  2 super-edges → root), 2 shards, and the whole fold plane behind the
+  process-pool ``AggregationPool`` — the kill lands while a pool is live, so
+  resume also proves no pool state is (or needs to be) durable.
+
 Exit status 0 on success, 1 on any mismatch.  Used by the nightly CI job,
-which also uploads the surviving checkpoint directory as an artifact::
+which also uploads the surviving checkpoint directories as an artifact::
 
     python scripts/resume_smoke.py --workdir resume-smoke
 """
@@ -49,8 +58,22 @@ NUM_ROUNDS = 4
 CHECKPOINT_EVERY = 2
 KILL_AT_ROUND = 3  # after the round-2 snapshot, before the run completes
 
+#: the hard-kill/resume matrix: config-name -> RunConfig overrides
+CONFIGS = {
+    "sharded-edges": dict(
+        num_shards=2, num_edge_aggregators=2,
+        aggregation="trimmed_mean", trim_ratio=0.2,
+    ),
+    "pooled-tree": dict(
+        num_shards=2, edge_tiers=(2, 2),
+        aggregation="trimmed_mean", trim_ratio=0.2,
+        aggregation_executor="process", aggregation_workers=2,
+    ),
+}
 
-def build_tuner(checkpoint_dir: str | None = None, kill_at: int | None = None):
+
+def build_tuner(name: str, checkpoint_dir: str | None = None,
+                kill_at: int | None = None):
     vocab = Vocabulary(size=96, num_topics=4)
     config = tiny_moe(vocab_size=vocab.size)
     dataset = make_gsm8k_like(vocab=vocab, num_samples=160, seed=3)
@@ -65,10 +88,9 @@ def build_tuner(checkpoint_dir: str | None = None, kill_at: int | None = None):
     run_config = RunConfig(
         batch_size=8, max_local_batches=1, eval_max_samples=16, seed=3,
         participants_per_round=4,
-        num_shards=2, num_edge_aggregators=2, aggregation="trimmed_mean",
-        trim_ratio=0.2,
         checkpoint_every=CHECKPOINT_EVERY if checkpoint_dir else 0,
         checkpoint_dir=checkpoint_dir,
+        **CONFIGS[name],
     )
     server = ParameterServer(MoETransformer(config))
 
@@ -87,48 +109,36 @@ def build_tuner(checkpoint_dir: str | None = None, kill_at: int | None = None):
     return KilledMidFlight(server, participants, test, config=run_config)
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workdir", default="resume-smoke",
-                        help="directory for checkpoints (uploaded as a CI artifact)")
-    parser.add_argument("--phase", choices=["main", "killed-child"], default="main",
-                        help=argparse.SUPPRESS)
-    args = parser.parse_args()
-    checkpoint_dir = os.path.join(args.workdir, "checkpoints")
-
-    if args.phase == "main" and os.path.isdir(checkpoint_dir):
+def run_config_smoke(name: str, workdir: str) -> list[str]:
+    """Kill+resume one matrix configuration; return a list of failures."""
+    checkpoint_dir = os.path.join(workdir, name, "checkpoints")
+    if os.path.isdir(checkpoint_dir):
         # A stale checkpoint from a previous invocation would let the resume
         # phase restore a *completed* run (zero rounds executed) and print a
         # vacuous PASS — every run must start from an empty snapshot dir.
         shutil.rmtree(checkpoint_dir)
 
-    if args.phase == "killed-child":
-        build_tuner(checkpoint_dir, kill_at=KILL_AT_ROUND).run(num_rounds=NUM_ROUNDS)
-        print("child: run completed without dying?!", flush=True)
-        return 1  # the kill switch must have fired before this point
-
+    print(f"=== {name} ===", flush=True)
     print(f"[1/3] reference: uninterrupted {NUM_ROUNDS}-round run", flush=True)
-    reference_tuner = build_tuner()
+    reference_tuner = build_tuner(name)
     reference = reference_tuner.run(num_rounds=NUM_ROUNDS)
 
     print(f"[2/3] kill: subprocess dies mid round {KILL_AT_ROUND} "
           f"(snapshots every {CHECKPOINT_EVERY} rounds)", flush=True)
     child = subprocess.run(
         [sys.executable, os.path.abspath(__file__),
-         "--workdir", args.workdir, "--phase", "killed-child"],
+         "--workdir", workdir, "--phase", "killed-child", "--config", name],
         cwd=REPO_ROOT)
     if child.returncode != 137:
-        print(f"FAIL: expected the child to die with os._exit(137), "
-              f"got {child.returncode}")
-        return 1
+        return [f"expected the child to die with os._exit(137), "
+                f"got {child.returncode}"]
 
     snapshot = latest_checkpoint(checkpoint_dir)
     if snapshot is None:
-        print(f"FAIL: no surviving checkpoint under {checkpoint_dir}")
-        return 1
+        return [f"no surviving checkpoint under {checkpoint_dir}"]
     print(f"[3/3] resume: from {os.path.basename(snapshot)} "
           f"to round {NUM_ROUNDS}", flush=True)
-    resumed_tuner = build_tuner(checkpoint_dir)
+    resumed_tuner = build_tuner(name, checkpoint_dir)
     resumed = resumed_tuner.run(num_rounds=NUM_ROUNDS, resume_from=snapshot)
 
     failures = []
@@ -138,25 +148,52 @@ def main() -> int:
         failures.append("round counts differ")
     for got, want in zip(resumed.rounds, reference.rounds):
         for field_name in ("train_loss", "metric_value", "simulated_time",
-                           "round_duration", "num_aggregated", "edge_bytes"):
+                           "round_duration", "num_aggregated", "edge_bytes",
+                           "tier_bytes"):
             if getattr(got, field_name) != getattr(want, field_name):
                 failures.append(
                     f"round {want.round_index}: {field_name} "
                     f"{getattr(got, field_name)!r} != {getattr(want, field_name)!r}")
     ref_state = reference_tuner.server.global_model.state_dict()
     res_state = resumed_tuner.server.global_model.state_dict()
-    for name in ref_state:
-        if not np.array_equal(ref_state[name], res_state[name]):
-            failures.append(f"model parameter {name} differs")
+    for tensor_name in ref_state:
+        if not np.array_equal(ref_state[tensor_name], res_state[tensor_name]):
+            failures.append(f"model parameter {tensor_name} differs")
+    if not failures:
+        print(f"PASS [{name}]: killed-then-resumed run is identical to the "
+              f"uninterrupted reference ({len(resumed.rounds)} rounds, "
+              f"final metric {resumed.final_metric():.3f})")
+    return failures
 
-    if failures:
-        print("FAIL: resumed run does not match the uninterrupted reference:")
-        for failure in failures:
-            print(f"  - {failure}")
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="resume-smoke",
+                        help="directory for checkpoints (uploaded as a CI artifact)")
+    parser.add_argument("--config", choices=sorted(CONFIGS), default=None,
+                        help="run a single matrix configuration (default: all)")
+    parser.add_argument("--phase", choices=["main", "killed-child"], default="main",
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.phase == "killed-child":
+        checkpoint_dir = os.path.join(args.workdir, args.config, "checkpoints")
+        build_tuner(args.config, checkpoint_dir,
+                    kill_at=KILL_AT_ROUND).run(num_rounds=NUM_ROUNDS)
+        print("child: run completed without dying?!", flush=True)
+        return 1  # the kill switch must have fired before this point
+
+    all_failures = {}
+    for name in ([args.config] if args.config else sorted(CONFIGS)):
+        failures = run_config_smoke(name, args.workdir)
+        if failures:
+            all_failures[name] = failures
+    if all_failures:
+        print("FAIL: resumed run(s) do not match the uninterrupted reference:")
+        for name, failures in all_failures.items():
+            for failure in failures:
+                print(f"  - [{name}] {failure}")
         return 1
-    print(f"PASS: killed-then-resumed run is identical to the uninterrupted "
-          f"reference ({len(resumed.rounds)} rounds, "
-          f"final metric {resumed.final_metric():.3f})")
     return 0
 
 

@@ -115,6 +115,30 @@ class StreamingAggregator:
         return update
 
     # --------------------------------------------------------------- finalizing
+    def partials(self, participant_id: int) -> list:
+        """Pre-folded partial aggregates, one update per finalizable key.
+
+        Each partial carries the key's accumulated (post-discount) weight, so
+        a downstream weighted fold treats this aggregator's whole input as one
+        heavy contributor — the building block of hierarchical aggregation
+        (:mod:`repro.federated.topology`) and of process-pool pre-folding
+        (:mod:`repro.runtime.executor`).  Unfinalizable keys (only zero-weight
+        FedAvg contributions) are dropped.  ``participant_id`` is the pseudo
+        id stamped on the partials (aggregator tiers use negative ids).
+        """
+        from ..federated.aggregation import ExpertUpdate
+
+        return [
+            ExpertUpdate(
+                participant_id=participant_id,
+                layer=layer,
+                expert=expert,
+                state=state,
+                weight=self.total_weight((layer, expert)),
+            )
+            for (layer, expert), state in self.finalize(skip_unfinalizable=True).items()
+        ]
+
     def finalize(self, skip_unfinalizable: bool = False
                  ) -> Dict[ExpertKey, Dict[str, np.ndarray]]:
         """Aggregated state per expert key (leaves the aggregator intact).

@@ -20,11 +20,20 @@ from .strategies import (
     TrimmedMeanStrategy,
     available_strategies,
     get_strategy,
+    picklable_strategy,
     register_strategy,
     staleness_discount,
     strategy_from_config,
 )
-from .topology import HierarchicalTopology, make_topology
+from .topology import (
+    AggregationTree,
+    CallableGrouping,
+    CostAwareGrouping,
+    GroupingPolicy,
+    HierarchicalTopology,
+    RoundRobinGrouping,
+    make_topology,
+)
 
 __all__ = [
     "ExpertKey",
@@ -50,9 +59,15 @@ __all__ = [
     "register_strategy",
     "get_strategy",
     "available_strategies",
+    "picklable_strategy",
     "strategy_from_config",
     "staleness_discount",
+    "AggregationTree",
     "HierarchicalTopology",
+    "GroupingPolicy",
+    "RoundRobinGrouping",
+    "CostAwareGrouping",
+    "CallableGrouping",
     "make_topology",
     "FederatedFineTuner",
     "RunConfig",

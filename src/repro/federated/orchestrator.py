@@ -104,11 +104,29 @@ class RunConfig:
     trim_ratio: float = 0.1                  # trimmed_mean: fraction trimmed per side
     num_shards: int = 1                      # expert shards at the root server
     num_edge_aggregators: int = 0            # edge tier size (0 = flat, single tier)
-    edge_latency_s: float = 0.0              # per-frame edge→root link latency
+    #: aggregator-tier widths, participant-facing first: ``(6, 2)`` is
+    #: participants → 6 edges → 2 super-edges → root.  ``None`` derives a
+    #: single tier from ``num_edge_aggregators`` (the legacy knob; if both are
+    #: set they must agree on the first tier's width).
+    edge_tiers: Optional[Sequence[int]] = None
+    #: participant→edge assignment: "cost_aware" greedy-bin-packs on each
+    #: participant's upload cost when cost models exist (falling back to
+    #: round-robin without them — bit-identical to the legacy assignment);
+    #: "round_robin" forces ``pid % num_edges`` unconditionally.
+    edge_grouping: str = "cost_aware"
+    edge_latency_s: float = 0.0              # per-frame inter-tier link latency
+
+    # --- aggregation executor (repro.runtime.executor.AggregationPool)
+    #: "process" folds expert shards and tree-node subtrees in a process
+    #: pool (bit-identical to serial, test-enforced); "serial" is the
+    #: single-thread legacy fold.
+    aggregation_executor: str = "serial"
+    aggregation_workers: Optional[int] = None
 
     # --- durability (repro.runtime.checkpoint)
     checkpoint_every: int = 0                # snapshot run state every K rounds (0 = off)
     checkpoint_dir: Optional[str] = None     # where snapshots land (required if every > 0)
+    checkpoint_keep_last: int = 0            # prune all but the K newest snapshots (0 = keep all)
 
     def __post_init__(self) -> None:
         if self.scheduler not in ("sync", "semisync", "async"):
@@ -155,12 +173,41 @@ class RunConfig:
             raise ValueError("num_shards must be positive")
         if self.num_edge_aggregators < 0:
             raise ValueError("num_edge_aggregators must be non-negative")
+        if self.edge_tiers is not None:
+            tiers = tuple(int(width) for width in self.edge_tiers)
+            if not tiers or any(width < 1 for width in tiers):
+                raise ValueError(
+                    "edge_tiers must be a non-empty sequence of positive widths")
+            if self.num_edge_aggregators and self.num_edge_aggregators != tiers[0]:
+                raise ValueError(
+                    f"edge_tiers[0]={tiers[0]} disagrees with "
+                    f"num_edge_aggregators={self.num_edge_aggregators}; set one "
+                    "(or make them match)")
+            self.edge_tiers = tiers
+        if self.edge_grouping not in ("cost_aware", "round_robin"):
+            raise ValueError(f"unknown edge grouping {self.edge_grouping!r}")
         if self.edge_latency_s < 0.0:
             raise ValueError("edge_latency_s must be non-negative")
+        if self.aggregation_executor not in ("serial", "process"):
+            raise ValueError(
+                f"unknown aggregation executor {self.aggregation_executor!r}")
+        if self.aggregation_workers is not None and self.aggregation_workers < 1:
+            raise ValueError("aggregation_workers must be positive")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
             raise ValueError("checkpoint_every > 0 requires checkpoint_dir")
+        if self.checkpoint_keep_last < 0:
+            raise ValueError("checkpoint_keep_last must be non-negative")
+
+    @property
+    def resolved_edge_tiers(self) -> Tuple[int, ...]:
+        """Aggregator-tier widths (``()`` = flat): ``edge_tiers`` or the legacy knob."""
+        if self.edge_tiers is not None:
+            return tuple(self.edge_tiers)
+        if self.num_edge_aggregators >= 1:
+            return (self.num_edge_aggregators,)
+        return ()
 
 
 @dataclass
@@ -196,10 +243,16 @@ class RoundResult:
     wire_seconds: float = 0.0
     payloads_lost: int = 0
     payloads_corrupted: int = 0
-    #: measured edge→root backhaul traffic (zero on a flat, single-tier run)
+    #: measured aggregator-tier backhaul totals (zero on a flat, single-tier
+    #: run; summed over every tier of an aggregation tree)
     edge_bytes: float = 0.0
     edge_seconds: float = 0.0
     edge_payloads: int = 0
+    #: per-tier breakdown of the backhaul traffic, participant-facing tier
+    #: first (empty on a flat run; ``tier_bytes[k]`` sums to ``edge_bytes``)
+    tier_bytes: List[float] = field(default_factory=list)
+    tier_seconds: List[float] = field(default_factory=list)
+    tier_payloads: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -258,6 +311,7 @@ class FederatedFineTuner(abc.ABC):
         # With the defaults (fedavg / 1 shard / 0 edges) every hook below is a
         # pass-through and the behaviour is bit-identical to the flat legacy
         # path.
+        from ..runtime.executor import make_aggregation_pool
         from .server import ShardedParameterServer
         from .strategies import strategy_from_config
         from .topology import make_topology
@@ -266,7 +320,11 @@ class FederatedFineTuner(abc.ABC):
         if self.config.num_shards > 1 and server.num_shards != self.config.num_shards:
             self.server = ShardedParameterServer.from_server(
                 server, self.config.num_shards)
-        self.topology = make_topology(self.config)
+        self.topology = make_topology(self.config,
+                                      participant_costs=self._participant_upload_costs())
+        self._aggregation_pool = make_aggregation_pool(self.config)
+        if self._aggregation_pool is not None:
+            self.server.fold_pool = self._aggregation_pool
 
     # ------------------------------------------------------------------ hooks
     @abc.abstractmethod
@@ -311,6 +369,19 @@ class FederatedFineTuner(abc.ABC):
 
     def cost_model_for(self, participant: Participant) -> Optional[CostModel]:
         return self.cost_models.get(participant.participant_id, participant.cost_model)
+
+    def _participant_upload_costs(self) -> Optional[Dict[int, float]]:
+        """Upload-seconds per participant — the cost-aware grouping signal.
+
+        ``None`` when no participant has a cost model, which makes the
+        default ``edge_grouping="cost_aware"`` degrade to the legacy
+        round-robin assignment (bit-identical to the pre-tree behaviour).
+        """
+        from ..systems.cost_model import upload_costs
+
+        models = {p.participant_id: self.cost_model_for(p) for p in self.participants}
+        models = {pid: model for pid, model in models.items() if model is not None}
+        return upload_costs(models) if models else None
 
     # ------------------------------------------------------------ wire transport
     def wire_codec_name(self) -> str:
@@ -399,7 +470,8 @@ class FederatedFineTuner(abc.ABC):
         streaming = self.config.streaming_aggregation
         if self.topology is not None:
             return self.topology.aggregate(self.server, updates, streaming=streaming,
-                                           strategy=self.aggregation_strategy)
+                                           strategy=self.aggregation_strategy,
+                                           pool=self._aggregation_pool)
         contributions = self.server.aggregate(updates, streaming=streaming,
                                               strategy=self.aggregation_strategy)
         return contributions, ChannelStats()
@@ -471,15 +543,19 @@ class FederatedFineTuner(abc.ABC):
         return self._legacy_scheduler.run_round(self, round_index)
 
     def close(self) -> None:
-        """Release runtime resources held by the legacy round API (idempotent).
+        """Release runtime resources held by the tuner (idempotent).
 
-        Only relevant after driving rounds via :meth:`run_round` with
-        ``executor="process"``; :meth:`run` closes its executor itself.
+        Covers the legacy :meth:`run_round` scheduler's worker pool and the
+        aggregation fold pool (``aggregation_executor="process"``); both are
+        lazily recreated on next use, so closing between runs is always safe.
+        :meth:`run` closes them itself when it finishes.
         """
         if self._legacy_scheduler is not None:
             self._legacy_scheduler.executor.close()
             self._legacy_scheduler = None
             self._legacy_scheduler_key = None
+        if self._aggregation_pool is not None:
+            self._aggregation_pool.close()
 
     def _server_aggregation_time(self, num_updates: int) -> float:
         if not self.cost_models:
@@ -514,15 +590,20 @@ class FederatedFineTuner(abc.ABC):
         checkpointer = None
         if self.config.checkpoint_every > 0:
             checkpointer = RunCheckpointer(directory=self.config.checkpoint_dir,
-                                           every=self.config.checkpoint_every)
+                                           every=self.config.checkpoint_every,
+                                           keep_last=self.config.checkpoint_keep_last)
         resume = None
         if resume_from is not None:
             resume = restore_run_state(self, active, load_run_checkpoint(resume_from))
-        if checkpointer is None and resume is None:
-            # Historical call shape: custom Scheduler implementations that
-            # predate the durability layer keep working untouched.
+        try:
+            if checkpointer is None and resume is None:
+                # Historical call shape: custom Scheduler implementations that
+                # predate the durability layer keep working untouched.
+                return active.run(self, num_rounds, stop_at_target=stop_at_target,
+                                  target_metric=target_metric)
             return active.run(self, num_rounds, stop_at_target=stop_at_target,
-                              target_metric=target_metric)
-        return active.run(self, num_rounds, stop_at_target=stop_at_target,
-                          target_metric=target_metric, checkpointer=checkpointer,
-                          resume=resume)
+                              target_metric=target_metric, checkpointer=checkpointer,
+                              resume=resume)
+        finally:
+            if self._aggregation_pool is not None:
+                self._aggregation_pool.close()

@@ -53,6 +53,10 @@ class ParameterServer:
         self.round_index = 0
         #: number of contributions each expert received over the whole run
         self.contribution_counts: Dict[ExpertKey, int] = {}
+        #: optional :class:`~repro.runtime.executor.AggregationPool`: with one
+        #: attached (and more than one shard) the per-shard folds run in
+        #: process-pool workers instead of on the server thread
+        self.fold_pool = None
 
     # ------------------------------------------------------------ distribution
     def global_state(self) -> Dict[str, np.ndarray]:
@@ -102,6 +106,8 @@ class ParameterServer:
         the buffered path's all-zero-weight uniform fallback).
         """
         effective = self._resolve_strategy(strategy)
+        if self.fold_pool is not None and self.num_shards > 1:
+            return self._record(self._aggregate_pooled(updates, effective, streaming))
         if effective is None and not streaming:
             # The buffered legacy FedAvg path — shared by every shard count so
             # its all-zero-weight uniform fallback (and bit-exactness) hold on
@@ -115,6 +121,35 @@ class ParameterServer:
         for aggregator in aggregators:
             contributions.update(aggregator.apply(self.global_model))
         return self._record(contributions)
+
+    def _aggregate_pooled(self, updates: Iterable[ExpertUpdate], strategy,
+                          streaming: bool) -> Dict[ExpertKey, int]:
+        """Fold the shards concurrently in :attr:`fold_pool` workers.
+
+        Updates cross the process boundary as lossless fp64 wire frames
+        (plus their in-memory staleness), bucketed by shard in arrival
+        order; each worker mirrors the serial per-shard fold exactly — the
+        legacy buffered FedAvg (uniform zero-weight fallback included) when
+        ``strategy`` is ``None`` and ``streaming`` is off, the strategy's
+        streaming accumulators otherwise — so pooled aggregation is
+        bit-identical to serial (test-enforced).  Pooling buffers one round's
+        frames parent-side, trading streaming's O(1) memory for parallel
+        fold throughput.
+        """
+        from ..comm import decode_state_dict
+        from ..runtime.executor import frame_update
+
+        shard_frames: List[List] = [[] for _ in range(self.num_shards)]
+        for update in updates:
+            shard_frames[self.shard_of(update.key)].append(frame_update(update))
+        jobs = [(shard, framed) for shard, framed in enumerate(shard_frames) if framed]
+        contributions: Dict[ExpertKey, int] = {}
+        for _, shard_result in self.fold_pool.fold_shards(strategy, streaming, jobs):
+            for (layer, expert), state_frame, count in shard_result:
+                self.global_model.load_expert_state(
+                    layer, expert, decode_state_dict(state_frame))
+                contributions[(layer, expert)] = count
+        return contributions
 
     def aggregate_payloads(self, payloads: Iterable[bytes],
                            strategy=None) -> Dict[ExpertKey, int]:

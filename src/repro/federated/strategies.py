@@ -255,6 +255,32 @@ def get_strategy(spec, **kwargs) -> AggregationStrategy:
     return factory(**kwargs)
 
 
+def picklable_strategy(spec) -> Optional[AggregationStrategy]:
+    """Resolve ``spec`` and verify it can cross a process boundary.
+
+    Process-pool aggregation (:class:`~repro.runtime.executor.AggregationPool`)
+    ships the *strategy object* to fold workers and rebuilds accumulators
+    there, so a strategy's construction-time state (trim ratios, staleness
+    exponents, …) must pickle.  All built-in strategies do; a custom strategy
+    holding e.g. a lambda or an open handle fails here with a clear error
+    instead of a deep ``concurrent.futures`` traceback.  ``None`` (the legacy
+    FedAvg default) passes through untouched.
+    """
+    import pickle
+
+    if spec is None:
+        return None
+    strategy = get_strategy(spec)
+    try:
+        pickle.loads(pickle.dumps(strategy))
+    except Exception as exc:
+        raise TypeError(
+            f"aggregation strategy {strategy.name!r} cannot cross a process "
+            f"boundary ({exc}); parallel aggregation requires a picklable "
+            "strategy — keep construction-time state to plain data") from exc
+    return strategy
+
+
 def strategy_from_config(config) -> Optional[AggregationStrategy]:
     """The strategy a :class:`~repro.federated.RunConfig` selects.
 

@@ -14,14 +14,17 @@ from .checkpoint import (
     RunCheckpointer,
     latest_checkpoint,
     load_run_checkpoint,
+    prune_checkpoints,
     restore_run_state,
     save_run_checkpoint,
 )
 from .events import Event, EventQueue
 from .executor import (
+    AggregationPool,
     ParticipantExecutor,
     ProcessPoolParticipantExecutor,
     SerialExecutor,
+    make_aggregation_pool,
     make_executor,
 )
 from .faults import (
@@ -51,6 +54,7 @@ __all__ = [
     "RunCheckpointer",
     "latest_checkpoint",
     "load_run_checkpoint",
+    "prune_checkpoints",
     "restore_run_state",
     "save_run_checkpoint",
     "Event",
@@ -68,7 +72,9 @@ __all__ = [
     "ParticipantExecutor",
     "SerialExecutor",
     "ProcessPoolParticipantExecutor",
+    "AggregationPool",
     "make_executor",
+    "make_aggregation_pool",
     "Scheduler",
     "SyncScheduler",
     "SemiSyncScheduler",

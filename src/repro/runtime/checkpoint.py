@@ -34,6 +34,7 @@ from __future__ import annotations
 import os
 import pickle
 import re
+import shutil
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
@@ -41,15 +42,19 @@ import numpy as np
 
 from ..models.checkpoint import load_checkpoint_state, save_checkpoint
 
-CHECKPOINT_VERSION = 1
+#: v2: the flat ``edge_channels`` list became a ``topology`` snapshot (tree
+#: shape + grouping + per-tier channel positions)
+CHECKPOINT_VERSION = 2
 MODEL_FILE = "model.npz"
 STATE_FILE = "run_state.pkl"
 _ROUND_DIR = re.compile(r"^round_(\d+)$")
 
 #: config fields a resumed run may legitimately change — everything else must
 #: match the snapshot exactly, or the continuation would silently diverge
-#: from the uninterrupted run
-_RESUMABLE_CONFIG_FIELDS = frozenset({"checkpoint_every", "checkpoint_dir"})
+#: from the uninterrupted run.  All three are purely operational: cadence,
+#: location and retention of snapshots cannot affect run results.
+_RESUMABLE_CONFIG_FIELDS = frozenset(
+    {"checkpoint_every", "checkpoint_dir", "checkpoint_keep_last"})
 
 
 def _config_snapshot(config) -> Dict:
@@ -102,8 +107,12 @@ def save_run_checkpoint(directory: str, tuner, scheduler, tracker,
             for participant in tuner.participants
         },
         "channels": tuner.export_channel_states(),
-        "edge_channels": (
-            [channel.export_state() for channel in tuner.topology.channels]
+        # Tree shape, grouping policy and every tier's channel positions; the
+        # tree itself holds no cross-round fold state (partials are per-round
+        # and checkpoints land between rounds), so this plus the RunConfig
+        # snapshot is the whole topology.
+        "topology": (
+            tuner.topology.export_state()
             if getattr(tuner, "topology", None) is not None else None),
         "run_config": _config_snapshot(tuner.config),
         "tuner_extra": tuner.export_run_state(),
@@ -162,16 +171,15 @@ def restore_run_state(tuner, scheduler, checkpoint: Dict) -> Dict:
     for participant_id, participant_state in checkpoint["participants"].items():
         tuner.import_participant_state(participant_id, participant_state)
     tuner.import_channel_states(checkpoint["channels"])
-    edge_channels = checkpoint["edge_channels"]
-    if edge_channels is not None:
+    topology_state = checkpoint["topology"]
+    if topology_state is not None:
         topology = getattr(tuner, "topology", None)
-        if topology is None or len(topology.channels) != len(edge_channels):
+        if topology is None:
             raise ValueError(
-                f"checkpoint carries {len(edge_channels)} edge-channel states "
-                "but the resuming tuner's topology has "
-                f"{0 if topology is None else len(topology.channels)} edges")
-        for channel, channel_state in zip(topology.channels, edge_channels):
-            channel.import_state(channel_state)
+                "checkpoint carries an aggregation-topology snapshot "
+                f"(tiers {tuple(topology_state['tiers'])}) but the resuming "
+                "tuner has a flat topology")
+        topology.import_state(topology_state)
     tuner.import_run_state(checkpoint["tuner_extra"])
     scheduler.restore_state(checkpoint["scheduler_state"], tuner)
     return {
@@ -180,6 +188,36 @@ def restore_run_state(tuner, scheduler, checkpoint: Dict) -> Dict:
         "rounds": checkpoint["rounds"],
         "next_round": checkpoint["next_round"],
     }
+
+
+def prune_checkpoints(directory: str, keep_last: int) -> List[str]:
+    """Remove all but the ``keep_last`` newest complete snapshots; return removals.
+
+    Retention counts *complete* snapshots (those with a ``run_state.pkl``
+    completeness marker), newest round number first.  Marker-less torn
+    directories — the residue of a crash mid-save — are always pruned: they
+    can never be resumed from and would otherwise accumulate forever.  Call
+    only after a successful marker-last save, so the snapshot just written is
+    itself complete and therefore always survives.
+    """
+    if keep_last < 1 or not os.path.isdir(directory):
+        return []
+    complete: List[tuple] = []
+    torn: List[str] = []
+    for name in os.listdir(directory):
+        match = _ROUND_DIR.match(name)
+        if match is None:
+            continue
+        path = os.path.join(directory, name)
+        if os.path.exists(os.path.join(path, STATE_FILE)):
+            complete.append((int(match.group(1)), path))
+        else:
+            torn.append(path)
+    complete.sort(reverse=True)
+    removed = torn + [path for _, path in complete[keep_last:]]
+    for path in removed:
+        shutil.rmtree(path)
+    return sorted(removed)
 
 
 def latest_checkpoint(directory: str) -> Optional[str]:
@@ -203,16 +241,25 @@ def latest_checkpoint(directory: str) -> Optional[str]:
 
 @dataclass
 class RunCheckpointer:
-    """Policy object: snapshot the run every ``every`` completed rounds."""
+    """Policy object: snapshot the run every ``every`` completed rounds.
+
+    ``keep_last=K`` rotates old snapshots: after each successful (marker-last)
+    save, everything but the K newest complete ``round_*`` directories is
+    pruned — torn marker-less directories included.  ``0`` keeps every
+    snapshot (the historical behaviour).
+    """
 
     directory: str
     every: int
+    keep_last: int = 0
 
     def __post_init__(self) -> None:
         if self.every < 1:
             raise ValueError("checkpoint interval must be positive")
         if not self.directory:
             raise ValueError("a checkpoint directory is required")
+        if self.keep_last < 0:
+            raise ValueError("keep_last must be non-negative")
 
     def due(self, rounds_completed: int) -> bool:
         return rounds_completed > 0 and rounds_completed % self.every == 0
@@ -221,5 +268,8 @@ class RunCheckpointer:
         return os.path.join(self.directory, f"round_{rounds_completed:05d}")
 
     def save(self, tuner, scheduler, tracker, run_timeline, rounds: List) -> str:
-        return save_run_checkpoint(self.path_for(len(rounds)), tuner, scheduler,
+        path = save_run_checkpoint(self.path_for(len(rounds)), tuner, scheduler,
                                    tracker, run_timeline, rounds)
+        if self.keep_last:
+            prune_checkpoints(self.directory, self.keep_last)
+        return path

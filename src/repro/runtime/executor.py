@@ -73,6 +73,156 @@ def _run_participant_chunk(payload: bytes, participant_ids: Sequence[int],
     return out
 
 
+# ----------------------------------------------------------- aggregation fold
+def frame_update(update, codec=None) -> Tuple[bytes, int]:
+    """One update as the ``(wire frame, staleness)`` pair fold jobs consume.
+
+    Staleness rides alongside the frame because it is in-memory metadata that
+    deliberately does not travel in wire frames (the schedulers discount
+    weights before transmission); fold workers still need it so the
+    ``staleness_fedavg`` strategy discounts exactly as a serial fold would.
+    Every producer of pooled fold payloads must pair through here so the
+    convention has exactly one home; :func:`_decode_framed_updates` is the
+    worker-side inverse.
+    """
+    if codec is None:
+        codec = get_codec(_IPC_CODEC)
+    return encode_update(update, codec), getattr(update, "staleness", 0)
+
+
+def _decode_framed_updates(framed: Sequence[Tuple[bytes, int]]) -> List:
+    """Rebuild updates from :func:`frame_update` pairs in arrival order."""
+    updates = []
+    for frame, staleness in framed:
+        update = decode_update(frame)
+        update.staleness = int(staleness)
+        updates.append(update)
+    return updates
+
+
+def _fold_shard_frames(strategy, streaming: bool,
+                       framed: Sequence[Tuple[bytes, int]]
+                       ) -> List[Tuple[Tuple[int, int], bytes, int]]:
+    """Worker-side: fold one shard's framed updates to per-key aggregates.
+
+    Mirrors the serial server paths exactly: the ``None``-strategy buffered
+    fold is the legacy per-key FedAvg (all-zero-weight uniform fallback
+    included), anything else goes through the strategy's streaming
+    accumulators (whose finalize raises on unfinalizable keys, as serial
+    ``StreamingAggregator.apply`` does).  Returns ``(key, framed aggregated
+    state, contribution count)`` triples; the state travels back as a
+    lossless fp64 state-dict frame, so pooled == serial bit-for-bit.
+    """
+    from ..comm import StreamingAggregator, encode_state_dict
+    from ..federated.aggregation import fedavg_states, group_updates
+
+    codec = get_codec(_IPC_CODEC)
+    updates = _decode_framed_updates(framed)
+    if strategy is None and not streaming:
+        return [
+            (key, encode_state_dict(fedavg_states([u.state for u in group],
+                                                  [u.weight for u in group]), codec),
+             len(group))
+            for key, group in group_updates(updates).items()
+        ]
+    aggregator = StreamingAggregator(strategy)
+    aggregator.add_updates(updates)
+    counts = aggregator.contributions()
+    return [(key, encode_state_dict(state, codec), counts[key])
+            for key, state in aggregator.finalize().items()]
+
+
+def _prefold_node_frames(strategy, pseudo_id: int,
+                         framed: Sequence[Tuple[bytes, int]]) -> List[bytes]:
+    """Worker-side: pre-fold one aggregation-tree node's framed updates.
+
+    The node's partials come back as framed updates carrying the group's
+    accumulated weight and the node's pseudo participant id — byte-for-byte
+    what the serial tier fold would have encoded for the upward hop.
+    """
+    from ..comm import StreamingAggregator
+
+    aggregator = StreamingAggregator(strategy)
+    aggregator.add_updates(_decode_framed_updates(framed))
+    codec = get_codec(_IPC_CODEC)
+    return [encode_update(partial, codec) for partial in aggregator.partials(pseudo_id)]
+
+
+class AggregationPool:
+    """Process pool for server-side fold work (expert shards, tree nodes).
+
+    The parallel twin of :class:`ProcessPoolParticipantExecutor`, but for the
+    *aggregation* plane: :class:`~repro.federated.ShardedParameterServer`
+    folds its shards concurrently and
+    :class:`~repro.federated.topology.AggregationTree` tier-0 nodes pre-fold
+    their subtrees in workers.  All payloads cross the process boundary as
+    lossless fp64 wire frames (exactly the representation a distributed
+    deployment would ship), so pooled aggregation is bit-identical to serial
+    — test-enforced.  The underlying pool is created lazily and survives
+    across rounds; like the participant executor it pickles pool-less, so a
+    fine-tuner holding one can itself be shipped to training workers.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_pool"] = None
+        return state
+
+    def _worker_strategy(self, strategy):
+        from ..federated.strategies import picklable_strategy
+
+        return picklable_strategy(strategy)
+
+    def fold_shards(self, strategy, streaming: bool,
+                    jobs: Sequence[Tuple[int, Sequence[Tuple[bytes, int]]]]
+                    ) -> List[Tuple[int, List[Tuple[Tuple[int, int], bytes, int]]]]:
+        """Fold every shard's framed updates concurrently; results in job order."""
+        strategy = self._worker_strategy(strategy)
+        pool = self._ensure_pool()
+        futures = [(shard, pool.submit(_fold_shard_frames, strategy, streaming, framed))
+                   for shard, framed in jobs]
+        return [(shard, future.result()) for shard, future in futures]
+
+    def prefold_nodes(self, strategy,
+                      jobs: Sequence[Tuple[int, int, Sequence[Tuple[bytes, int]]]]
+                      ) -> List[Tuple[int, List[bytes]]]:
+        """Pre-fold every tree node's framed updates concurrently (job order)."""
+        strategy = self._worker_strategy(strategy)
+        pool = self._ensure_pool()
+        futures = [(node, pool.submit(_prefold_node_frames, strategy, pseudo_id, framed))
+                   for node, pseudo_id, framed in jobs]
+        return [(node, future.result()) for node, future in futures]
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; lazily recreated on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_aggregation_pool(config) -> Optional[AggregationPool]:
+    """The fold pool a :class:`~repro.federated.RunConfig` selects (or ``None``)."""
+    name = getattr(config, "aggregation_executor", "serial")
+    if name == "serial":
+        return None
+    if name == "process":
+        return AggregationPool(max_workers=getattr(config, "aggregation_workers", None))
+    raise ValueError(f"unknown aggregation executor {name!r}")
+
+
 class ParticipantExecutor(abc.ABC):
     """Runs the local work of a set of independent participants."""
 

@@ -200,7 +200,7 @@ class Scheduler(abc.ABC):
                          timeline: RoundTimeline,
                          contributors: Sequence[Tuple[Participant, ParticipantRoundResult]]
                          ) -> Tuple[Dict[int, ParticipantRoundResult], List[float],
-                                    ChannelStats, ChannelStats]:
+                                    ChannelStats, ChannelStats, List[ChannelStats]]:
         """Aggregate the contributors into the global model and fill ``timeline``.
 
         Updates flow through :meth:`FederatedFineTuner.transmit_updates` — a
@@ -210,8 +210,9 @@ class Scheduler(abc.ABC):
         more than one client's decoded updates are ever buffered server-side.
         :meth:`FederatedFineTuner.aggregate_round_updates` routes the stream
         either straight into the (possibly sharded) server or through the
-        edge-aggregator tier; the second returned
-        :class:`~repro.comm.ChannelStats` meters that edge→root hop.
+        aggregation tree; the second returned :class:`~repro.comm.ChannelStats`
+        totals the inter-tier backhaul and the final list breaks it down per
+        aggregator tier (empty on a flat run).
         """
         results: Dict[int, ParticipantRoundResult] = {}
         losses: List[float] = []
@@ -228,10 +229,12 @@ class Scheduler(abc.ABC):
                 yield from updates
 
         contributions, edge_stats = tuner.aggregate_round_updates(delivered_updates())
+        topology = getattr(tuner, "topology", None)
+        tier_stats = list(getattr(topology, "last_tier_stats", []))
         num_updates = sum(contributions.values())
         timeline.server_time = tuner._server_aggregation_time(num_updates)
         tuner.after_aggregation(round_index, results)
-        return results, losses, stats, edge_stats
+        return results, losses, stats, edge_stats, tier_stats
 
     @staticmethod
     def _result_duration(result: ParticipantRoundResult) -> float:
@@ -254,7 +257,7 @@ class SyncScheduler(Scheduler):
         """Execute one synchronous federated round."""
         selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
         timeline = RoundTimeline(round_index=round_index)
-        results, losses, wire, edge = self._aggregate_round(
+        results, losses, wire, edge, tiers = self._aggregate_round(
             tuner, round_index, timeline,
             [(participant, result) for participant, result, _, _ in entries])
 
@@ -278,6 +281,9 @@ class SyncScheduler(Scheduler):
             edge_bytes=edge.total_bytes,
             edge_seconds=edge.seconds,
             edge_payloads=edge.payloads,
+            tier_bytes=[s.total_bytes for s in tiers],
+            tier_seconds=[s.seconds for s in tiers],
+            tier_payloads=[s.payloads for s in tiers],
         )
         return round_result, results
 
@@ -325,8 +331,8 @@ class SemiSyncScheduler(Scheduler):
         num_stragglers = len(queue)
 
         timeline = RoundTimeline(round_index=round_index)
-        results, losses, wire, edge = self._aggregate_round(tuner, round_index, timeline,
-                                                            arrivals)
+        results, losses, wire, edge, tiers = self._aggregate_round(
+            tuner, round_index, timeline, arrivals)
 
         duration = deadline + timeline.server_time
         timeline.duration_override = duration
@@ -349,6 +355,9 @@ class SemiSyncScheduler(Scheduler):
             edge_bytes=edge.total_bytes,
             edge_seconds=edge.seconds,
             edge_payloads=edge.payloads,
+            tier_bytes=[s.total_bytes for s in tiers],
+            tier_seconds=[s.seconds for s in tiers],
+            tier_payloads=[s.payloads for s in tiers],
         )
 
 
@@ -612,7 +621,8 @@ class AsyncScheduler(Scheduler):
             contributors.append((entry["participant"], discounted))
 
         timeline = RoundTimeline(round_index=version)
-        _, losses, wire, edge = self._aggregate_round(tuner, version, timeline, contributors)
+        _, losses, wire, edge, tiers = self._aggregate_round(
+            tuner, version, timeline, contributors)
 
         duration = max(now + timeline.server_time - last_aggregation_time, 0.0)
         timeline.duration_override = duration
@@ -635,6 +645,9 @@ class AsyncScheduler(Scheduler):
             edge_bytes=edge.total_bytes,
             edge_seconds=edge.seconds,
             edge_payloads=edge.payloads,
+            tier_bytes=[s.total_bytes for s in tiers],
+            tier_seconds=[s.seconds for s in tiers],
+            tier_payloads=[s.payloads for s in tiers],
         )
 
 

@@ -5,6 +5,7 @@ from .cost_model import (
     TRAIN_FLOPS_PER_PARAM,
     CostModel,
     RoundCostBreakdown,
+    upload_costs,
 )
 from .device import (
     CONSUMER_GPU,
@@ -39,6 +40,7 @@ __all__ = [
     "RoundCostBreakdown",
     "FORWARD_FLOPS_PER_PARAM",
     "TRAIN_FLOPS_PER_PARAM",
+    "upload_costs",
     "SimulatedClock",
     "RoundTimeline",
     "RunTimeline",

@@ -179,3 +179,18 @@ class CostModel:
     def aggregation_time(self, total_expert_updates: int) -> float:
         """Server-side seconds to aggregate ``total_expert_updates`` expert updates."""
         return total_expert_updates * self.aggregation_seconds_per_expert
+
+
+def upload_costs(cost_models: Dict[int, "CostModel"],
+                 num_experts: int = 1) -> Dict[int, float]:
+    """Per-participant upload seconds for ``num_experts`` expert updates.
+
+    The scalar load signal behind cost-aware edge grouping
+    (:class:`~repro.federated.topology.CostAwareGrouping`): a greedy bin-pack
+    over these costs balances the per-edge upload *makespan* — slow uplinks
+    spread across edge aggregators instead of whichever edge ``pid % n``
+    happens to pick.  Only relative magnitudes matter, so one representative
+    expert (the default) is as good a signal as a full round's worth.
+    """
+    return {participant_id: cost_model.upload_time(num_experts)
+            for participant_id, cost_model in cost_models.items()}

@@ -20,7 +20,7 @@ ROUND_FIELDS = (
     "round_duration", "num_selected", "num_aggregated", "num_dropped",
     "num_stragglers", "mean_staleness", "wire_bytes", "wire_seconds",
     "payloads_lost", "payloads_corrupted", "edge_bytes", "edge_seconds",
-    "edge_payloads",
+    "edge_payloads", "tier_bytes", "tier_seconds", "tier_payloads",
 )
 
 
@@ -250,8 +250,9 @@ class TestCheckpointMechanics:
         with pytest.raises(ValueError, match="aggregation"):
             drifted.run(num_rounds=2, resume_from=snapshot)
 
-        # A different checkpoint cadence is an allowed, non-diverging change.
-        relaxed = dict(durable, checkpoint_every=5)
+        # Cadence and retention are allowed, non-diverging changes: both are
+        # purely operational (e.g. turning on rotation to stop disk growth).
+        relaxed = dict(durable, checkpoint_every=5, checkpoint_keep_last=2)
         resumed = build_constant_tuner(vocab, tiny_config, **relaxed)
         resumed.run(num_rounds=2, resume_from=snapshot)
 
@@ -272,6 +273,26 @@ class TestCheckpointMechanics:
         resumed_tuner.run(num_rounds=3, resume_from=snapshot)
         assert [channel.export_state()["sequence"]
                 for channel in resumed_tuner.topology.channels] == expected_sequences
+
+    def test_resume_restores_every_tier_channel_position(self, vocab, tiny_config,
+                                                         tmp_path):
+        """N-tier trees snapshot one channel position per node per tier."""
+        knobs = dict(participants_per_round=3, edge_tiers=(2, 2),
+                     edge_latency_s=0.05)
+        uninterrupted = build_constant_tuner(vocab, tiny_config, **knobs)
+        uninterrupted.run(num_rounds=3)
+        expected = [[channel.export_state()["sequence"] for channel in tier]
+                    for tier in uninterrupted.topology.tier_channels]
+        assert all(any(seq > 0 for seq in tier) for tier in expected)
+
+        durable = dict(knobs, checkpoint_every=2,
+                       checkpoint_dir=str(tmp_path / "tiers"))
+        build_constant_tuner(vocab, tiny_config, **durable).run(num_rounds=2)
+        snapshot = latest_checkpoint(str(tmp_path / "tiers"))
+        resumed_tuner = build_constant_tuner(vocab, tiny_config, **durable)
+        resumed_tuner.run(num_rounds=3, resume_from=snapshot)
+        assert [[channel.export_state()["sequence"] for channel in tier]
+                for tier in resumed_tuner.topology.tier_channels] == expected
 
     def test_legacy_two_argument_scheduler_still_runs(self, vocab, tiny_config):
         """Custom schedulers predating the durability layer keep working."""
@@ -295,3 +316,62 @@ class TestCheckpointMechanics:
         scheduler = AsyncScheduler(buffer_size=2, concurrency=2)
         with pytest.raises(ValueError, match="restored"):
             next(scheduler.round_results(tuner, num_rounds=4, start_round=2))
+
+
+class TestCheckpointRotation:
+    def _complete_dir(self, root, round_index):
+        path = root / f"round_{round_index:05d}"
+        os.makedirs(path)
+        (path / STATE_FILE).write_bytes(b"snapshot")
+        return str(path)
+
+    def test_prune_keeps_newest_complete_snapshots(self, tmp_path):
+        from repro.runtime import prune_checkpoints
+
+        for round_index in (2, 4, 6, 8):
+            self._complete_dir(tmp_path, round_index)
+        os.makedirs(tmp_path / "round_00005")  # torn: no completeness marker
+        (tmp_path / "unrelated").mkdir()       # never touched
+
+        removed = prune_checkpoints(str(tmp_path), keep_last=2)
+        assert sorted(os.path.basename(p) for p in removed) == [
+            "round_00002", "round_00004", "round_00005"]
+        assert sorted(os.listdir(tmp_path)) == [
+            "round_00006", "round_00008", "unrelated"]
+
+    def test_prune_zero_keeps_everything(self, tmp_path):
+        from repro.runtime import prune_checkpoints
+
+        self._complete_dir(tmp_path, 2)
+        assert prune_checkpoints(str(tmp_path), keep_last=0) == []
+        assert prune_checkpoints(str(tmp_path / "missing"), keep_last=3) == []
+        assert os.listdir(tmp_path) == ["round_00002"]
+
+    def test_checkpointer_rotates_after_save(self, vocab, tiny_config, tmp_path):
+        tuner = build_constant_tuner(
+            vocab, tiny_config, participants_per_round=3, checkpoint_every=1,
+            checkpoint_dir=str(tmp_path), checkpoint_keep_last=2)
+        tuner.run(num_rounds=4)
+        assert sorted(os.listdir(tmp_path)) == ["round_00003", "round_00004"]
+
+    def test_rotated_run_still_resumes_bit_identically(self, vocab, tiny_config,
+                                                       tmp_path):
+        knobs = dict(participants_per_round=3, num_shards=2)
+        expected_tuner = build_constant_tuner(vocab, tiny_config, **knobs)
+        expected = expected_tuner.run(num_rounds=4)
+
+        durable = dict(knobs, checkpoint_every=1, checkpoint_dir=str(tmp_path),
+                       checkpoint_keep_last=1)
+        build_constant_tuner(vocab, tiny_config, **durable).run(num_rounds=2)
+        assert sorted(os.listdir(tmp_path)) == ["round_00002"]
+        resumed_tuner = build_constant_tuner(vocab, tiny_config, **durable)
+        resumed = resumed_tuner.run(num_rounds=4,
+                                    resume_from=latest_checkpoint(str(tmp_path)))
+        assert_run_results_equal(resumed, expected)
+        assert_models_equal(resumed_tuner.server.global_model,
+                            expected_tuner.server.global_model)
+        assert sorted(os.listdir(tmp_path)) == ["round_00004"]
+
+    def test_checkpointer_validates_keep_last(self, tmp_path):
+        with pytest.raises(ValueError, match="keep_last"):
+            RunCheckpointer(directory=str(tmp_path), every=1, keep_last=-1)

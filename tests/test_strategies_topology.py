@@ -7,9 +7,12 @@ import pytest
 
 from repro.comm import Channel, StreamingAggregator
 from repro.federated import (
+    AggregationTree,
+    CostAwareGrouping,
     ExpertUpdate,
     HierarchicalTopology,
     ParameterServer,
+    RoundRobinGrouping,
     RunConfig,
     ShardedParameterServer,
     fedavg_states,
@@ -499,6 +502,210 @@ class TestHierarchicalTopology:
         shape = topo.describe()
         assert shape["tiers"] == 2 and shape["num_edges"] == 2
 
+    def test_empty_round_resets_edge_counts_and_metering(self, tiny_config):
+        """Stale per-round counts/stats must not survive a zero-update round."""
+        model = MoETransformer(tiny_config)
+        topo = HierarchicalTopology(num_edges=2, latency_s=0.1)
+        contributions, stats = topo.aggregate(ParameterServer(model),
+                                              iter(self._partial_updates(model)))
+        assert sum(topo.last_edge_counts) > 0
+        assert stats.payloads > 0
+        contributions, stats = topo.aggregate(ParameterServer(model), iter([]))
+        assert contributions == {}
+        assert topo.last_edge_counts == [0, 0]
+        assert all(s.payloads == 0 and s.seconds == 0.0 and s.total_bytes == 0
+                   for s in topo.last_tier_stats)
+
+    def test_mid_stream_failure_does_not_leave_stale_counts(self, tiny_config):
+        """A fold that dies mid-round leaves zeroed, not stale, counts."""
+        model = MoETransformer(tiny_config)
+        topo = HierarchicalTopology(num_edges=2)
+        topo.aggregate(ParameterServer(model), iter(self._partial_updates(model)))
+
+        def poisoned():
+            # Both land on edge 0, so the second add dies inside the tier-0
+            # fold — before the per-edge counts were ever filled in.
+            yield ExpertUpdate(0, 0, 0, {"w": np.zeros(2)}, weight=1.0)
+            yield ExpertUpdate(2, 0, 0, {"mismatched": np.zeros(2)}, weight=1.0)
+
+        with pytest.raises(ValueError, match="mismatched tensor names"):
+            topo.aggregate(ParameterServer(model), poisoned())
+        assert sum(topo.last_edge_counts) == 0
+
+
+# ----------------------------------------------------------- aggregation tree
+class TestAggregationTree:
+    def _updates(self, model, num_participants=8, keys=4, seed=8):
+        rng = np.random.default_rng(seed)
+        updates = []
+        for pid in range(num_participants):
+            for layer, expert in list(model.iter_expert_ids())[:keys]:
+                state = {name: value + 0.01 * rng.normal(size=value.shape)
+                         for name, value in model.expert_state(layer, expert).items()}
+                updates.append(ExpertUpdate(pid, layer, expert, state,
+                                            weight=float(pid % 3 + 1)))
+        return updates
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="at least one tier"):
+            AggregationTree(())
+        with pytest.raises(ValueError, match="at least one tier"):
+            AggregationTree((3, 0))
+        with pytest.raises(ValueError, match="one upward channel"):
+            AggregationTree((2, 2), channels=[[Channel(), Channel()], [Channel()]])
+        with pytest.raises(TypeError, match="GroupingPolicy or callable"):
+            AggregationTree((2,), grouping=42)
+
+    def test_shape_accessors(self):
+        tree = AggregationTree((6, 2))
+        assert tree.depth == 2 and tree.num_edges == 6
+        assert [len(tier) for tier in tree.tier_channels] == [6, 2]
+        assert tree.channels is tree.tier_channels[0]
+        assert tree.parent_of(0, 5) == 1
+        with pytest.raises(ValueError, match="feeds the root"):
+            tree.parent_of(1, 0)
+        assert tree.pseudo_id(0, 3) == -4       # the historical -(edge + 1)
+        assert tree.pseudo_id(1, 0) == -1001    # deeper tiers keep ids distinct
+        assert tree.describe()["tiers"] == 3
+
+    @pytest.mark.parametrize("tiers", [(3,), (3, 2), (2, 2, 2)])
+    def test_tree_fedavg_matches_flat_numerically(self, tiny_config, tiers):
+        flat_model = MoETransformer(tiny_config)
+        tree_model = MoETransformer(tiny_config)
+        tree_model.load_state_dict(flat_model.state_dict())
+        updates = self._updates(flat_model)
+
+        ParameterServer(flat_model).aggregate(list(updates))
+        tree = AggregationTree(tiers)
+        contributions, stats = tree.aggregate(ParameterServer(tree_model),
+                                              iter(updates))
+        flat_state, tree_state = flat_model.state_dict(), tree_model.state_dict()
+        for name in flat_state:
+            assert np.allclose(flat_state[name], tree_state[name],
+                               rtol=1e-12, atol=1e-12), name
+        # The root receives one partial per (last-tier node, key).
+        assert sum(contributions.values()) == tiers[-1] * 4
+        assert stats.payloads == sum(tree.last_tier_stats[k].payloads
+                                     for k in range(tree.depth))
+
+    def test_per_tier_metering_and_counts(self, tiny_config):
+        model = MoETransformer(tiny_config)
+        tree = AggregationTree((4, 2), latency_s=0.5)
+        updates = self._updates(model)
+        _, stats = tree.aggregate(ParameterServer(model), iter(updates))
+        # Tier 0 folded every participant update; tier 1 folded tier-0 partials.
+        assert sum(tree.last_tier_counts[0]) == len(updates)
+        assert sum(tree.last_tier_counts[1]) == tree.last_tier_stats[0].payloads
+        assert tree.last_tier_stats[0].payloads == 4 * 4   # 4 nodes x 4 keys
+        assert tree.last_tier_stats[1].payloads == 2 * 4   # 2 nodes x 4 keys
+        for tier_stats in tree.last_tier_stats:
+            assert tier_stats.seconds == pytest.approx(0.5 * tier_stats.payloads)
+        assert stats.total_bytes == sum(s.total_bytes for s in tree.last_tier_stats)
+
+    def test_depth_two_composes_with_sharding_and_strategy(self, tiny_config):
+        model = MoETransformer(tiny_config)
+        server = ShardedParameterServer(model, num_shards=2)
+        baseline = {key: model.expert_state(*key)
+                    for key in list(model.iter_expert_ids())[:2]}
+        updates = [ExpertUpdate(pid, key[0], key[1], dict(state), weight=1.0)
+                   for pid in range(8) for key, state in baseline.items()]
+        tree = AggregationTree((4, 2))
+        contributions, _ = tree.aggregate(server, iter(updates),
+                                          strategy=TrimmedMeanStrategy(0.25))
+        assert set(contributions) == set(baseline)
+        for key, state in baseline.items():
+            for name, value in server.expert_state(*key).items():
+                assert np.allclose(value, state[name])
+
+    def test_export_import_state_roundtrip_and_shape_guard(self):
+        tree = AggregationTree((3, 2), latency_s=0.1)
+        tree.channels[1].send(b"payload", direction="up")
+        state = tree.export_state()
+        assert state["tiers"] == [3, 2]
+        clone = AggregationTree((3, 2), latency_s=0.1)
+        clone.import_state(state)
+        assert clone.channels[1]._sequence == 1
+        with pytest.raises(ValueError, match="tiers"):
+            AggregationTree((2, 2)).import_state(state)
+
+    def test_import_state_rejects_drifted_grouping(self):
+        """Same config can resolve to different effective groupings (cost
+        models appearing/disappearing) — the snapshot must catch that."""
+        costs = {0: 2.0, 1: 1.0}
+        snapshot = AggregationTree((2,), grouping=CostAwareGrouping(costs)).export_state()
+        assert snapshot["grouping"] == "cost_aware"
+        assert snapshot["grouping_costs"] == costs
+        with pytest.raises(ValueError, match="edge grouping"):
+            AggregationTree((2,)).import_state(snapshot)  # now round-robin
+        with pytest.raises(ValueError, match="upload costs"):
+            AggregationTree((2,), grouping=CostAwareGrouping({0: 9.0, 1: 1.0})
+                            ).import_state(snapshot)
+        same = AggregationTree((2,), grouping=CostAwareGrouping(dict(costs)))
+        same.import_state(snapshot)  # identical costs resume cleanly
+
+
+# ------------------------------------------------------------------- grouping
+class TestGrouping:
+    def test_round_robin_is_the_legacy_assignment(self):
+        policy = RoundRobinGrouping()
+        assert [policy.group_of(pid, 3) for pid in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_cost_aware_balances_makespan_not_count(self):
+        # pid % 2 would put both heavy uploaders (0, 2) on distinct edges only
+        # by luck; LPT guarantees the heaviest two land apart.
+        costs = {0: 10.0, 1: 1.0, 2: 9.0, 3: 2.0, 4: 8.0, 5: 3.0}
+        policy = CostAwareGrouping(costs)
+        assignment = {pid: policy.group_of(pid, 2) for pid in costs}
+        assert assignment[0] != assignment[2]
+        loads = policy.group_loads(2)
+        assert max(loads) - min(loads) <= min(costs.values())
+
+    def test_cost_aware_is_deterministic_and_tie_stable(self):
+        costs = {pid: 1.0 for pid in range(8)}
+        a = CostAwareGrouping(costs)
+        b = CostAwareGrouping(dict(reversed(list(costs.items()))))
+        for pid in costs:
+            assert a.group_of(pid, 3) == b.group_of(pid, 3)
+
+    def test_cost_aware_falls_back_to_round_robin(self):
+        empty = CostAwareGrouping({})
+        assert [empty.group_of(pid, 2) for pid in range(4)] == [0, 1, 0, 1]
+        partial = CostAwareGrouping({0: 5.0})
+        assert partial.group_of(99, 2) == 99 % 2   # unknown pid: stable fallback
+
+    def test_make_topology_uses_costs_by_default(self):
+        costs = {0: 10.0, 1: 1.0, 2: 9.0, 3: 2.0}
+        topo = make_topology(RunConfig(num_edge_aggregators=2),
+                             participant_costs=costs)
+        assert isinstance(topo.grouping, CostAwareGrouping)
+        assert topo.edge_of(0) != topo.edge_of(2)
+        plain = make_topology(RunConfig(num_edge_aggregators=2))
+        assert isinstance(plain.grouping, RoundRobinGrouping)
+        forced = make_topology(
+            RunConfig(num_edge_aggregators=2, edge_grouping="round_robin"),
+            participant_costs=costs)
+        assert isinstance(forced.grouping, RoundRobinGrouping)
+
+    def test_run_config_edge_tier_validation(self):
+        assert RunConfig().resolved_edge_tiers == ()
+        assert RunConfig(num_edge_aggregators=3).resolved_edge_tiers == (3,)
+        assert RunConfig(edge_tiers=[4, 2]).resolved_edge_tiers == (4, 2)
+        assert RunConfig(edge_tiers=(4, 2), num_edge_aggregators=4).edge_tiers == (4, 2)
+        with pytest.raises(ValueError, match="disagrees"):
+            RunConfig(edge_tiers=(4, 2), num_edge_aggregators=3)
+        with pytest.raises(ValueError, match="positive widths"):
+            RunConfig(edge_tiers=())
+        with pytest.raises(ValueError, match="positive widths"):
+            RunConfig(edge_tiers=(3, 0))
+        with pytest.raises(ValueError, match="edge grouping"):
+            RunConfig(edge_grouping="random")
+        with pytest.raises(ValueError, match="aggregation executor"):
+            RunConfig(aggregation_executor="threads")
+        with pytest.raises(ValueError, match="aggregation_workers"):
+            RunConfig(aggregation_workers=0)
+        with pytest.raises(ValueError, match="checkpoint_keep_last"):
+            RunConfig(checkpoint_keep_last=-1)
+
 
 # ------------------------------------------------------------- run-level wiring
 class TestRunLevelTopology:
@@ -515,6 +722,21 @@ class TestRunLevelTopology:
         server, participants, test, config = build_federation(vocab, tiny_config)
         result = ConstantMethod(server, participants, test, config=config).run(2)
         assert all(r.edge_bytes == 0 and r.edge_payloads == 0 for r in result.rounds)
+        assert all(r.tier_bytes == [] and r.tier_payloads == [] for r in result.rounds)
+
+    def test_three_tier_run_reports_per_tier_metrics(self, vocab, tiny_config):
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, edge_tiers=(3, 2), edge_latency_s=0.1)
+        tuner = ConstantMethod(server, participants, test, config=config)
+        result = tuner.run(2)
+        assert tuner.topology.depth == 2
+        for round_result in result.rounds:
+            assert len(round_result.tier_bytes) == 2
+            assert sum(round_result.tier_bytes) == round_result.edge_bytes
+            assert sum(round_result.tier_seconds) == pytest.approx(
+                round_result.edge_seconds)
+            assert sum(round_result.tier_payloads) == round_result.edge_payloads
+            assert all(b > 0 for b in round_result.tier_bytes)
 
     def _run_states(self, vocab, tiny_config, **config_kwargs):
         server, participants, test, config = build_federation(
