@@ -552,6 +552,151 @@ def check_aggregation_regression(current: Dict, baseline_path: str,
     return 0
 
 
+# ---------------------------------------------------------- telemetry suite
+TELEMETRY_ROUNDS = 2
+TELEMETRY_CLIENTS = 8
+
+
+def _build_telemetry_tuner(telemetry_dir: Optional[str]):
+    """A small sharded 2-tier wire-transport run; telemetry on when a dir is given.
+
+    The wire transport plus edge tier makes the telemetry-on run exercise every
+    span family (train, transfer, fold, checkpoint-free round bookkeeping), so
+    the measured ratio covers the instrumentation's worst case rather than the
+    analytic fast path.
+    """
+    from repro import (
+        FMDFineTuner, MoETransformer, ParameterServer, Participant,
+        ParticipantResources, RunConfig, Vocabulary, make_gsm8k_like,
+        partition_dirichlet, tiny_moe,
+    )
+    from repro.models.presets import ARCHITECTURE_DESCRIPTORS
+    from repro.systems import CostModel, MemoryModel, heterogeneous_fleet
+
+    vocab = Vocabulary(size=96, num_topics=4)
+    config = tiny_moe(vocab_size=vocab.size)
+    dataset = make_gsm8k_like(vocab=vocab, num_samples=120, seed=0)
+    train, test = dataset.split(seed=0)
+    shards = partition_dirichlet(train, TELEMETRY_CLIENTS, alpha=0.5, seed=0)
+    devices = heterogeneous_fleet(TELEMETRY_CLIENTS, seed=0, spread=0.5)
+    memory = MemoryModel(ARCHITECTURE_DESCRIPTORS["llama-moe"])
+    participants, cost_models = [], {}
+    for pid, (shard, device) in enumerate(zip(shards, devices)):
+        participants.append(Participant(
+            pid, train.subset(shard), device=device,
+            resources=ParticipantResources(max_experts=8, max_tuning_experts=4),
+            seed=pid))
+        cost_models[pid] = CostModel(device, memory)
+    server = ParameterServer(MoETransformer(config))
+    run_config = RunConfig(
+        batch_size=4, max_local_batches=1, learning_rate=1e-2,
+        eval_max_samples=12, seed=0, participants_per_round=6,
+        num_shards=2, num_edge_aggregators=2, transport="wire",
+        telemetry=telemetry_dir is not None, telemetry_dir=telemetry_dir)
+    return FMDFineTuner(server, participants, test, cost_models=cost_models,
+                        config=run_config)
+
+
+def _timed_telemetry_run(telemetry_dir: Optional[str]) -> float:
+    """Wall time of one fresh run (tuner construction excluded)."""
+    tuner = _build_telemetry_tuner(telemetry_dir)
+    start = time.perf_counter()
+    tuner.run(num_rounds=TELEMETRY_ROUNDS)
+    return time.perf_counter() - start
+
+
+def run_telemetry_suite(quick: bool) -> Dict:
+    """The observability-overhead benchmark family (``--suite telemetry``).
+
+    Two measurements, interleaved per repetition so host drift cancels out of
+    the gated ratio:
+
+    * the same small federated run with telemetry off vs on (JSONL + exporters
+      written to a temp dir) — ``overhead_ratio_on_vs_off`` is the headline;
+    * span microbenchmarks — the per-call cost of a ``NullTracer`` span (what
+      every instrumentation site pays when telemetry is off) and of a live
+      ``Tracer`` span with a sink.
+    """
+    import shutil
+    import tempfile
+
+    from repro.obs import JSONL_FILE, NULL_TRACER, Tracer
+
+    reps = 2 if quick else 4
+    best = {"off": float("inf"), "on": float("inf")}
+    events_per_run = 0
+    for _ in range(reps):
+        best["off"] = min(best["off"], _timed_telemetry_run(None))
+        tmp = tempfile.mkdtemp(prefix="bench-telemetry-")
+        try:
+            best["on"] = min(best["on"], _timed_telemetry_run(tmp))
+            with open(os.path.join(tmp, JSONL_FILE)) as handle:
+                events_per_run = sum(1 for _ in handle)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    tracer = Tracer(sink=lambda span: None)
+
+    def null_span():
+        with NULL_TRACER.span("bench", category="fold"):
+            pass
+
+    def live_span():
+        with tracer.span("bench", category="fold") as span:
+            span.set(sim_duration=0.0, payload=1)
+
+    micro_iters = 500 if quick else 2000
+    null_span_s = _best_time(null_span, micro_iters, reps)
+    live_span_s = _best_time(live_span, micro_iters, reps)
+    return {
+        "rounds": TELEMETRY_ROUNDS,
+        "clients": TELEMETRY_CLIENTS,
+        "off_run_s": best["off"],
+        "on_run_s": best["on"],
+        "overhead_ratio_on_vs_off": best["on"] / best["off"],
+        "events_per_run": events_per_run,
+        "null_span_ns": null_span_s * 1e9,
+        "live_span_ns": live_span_s * 1e9,
+        "note": ("off/on runs are the same sharded 2-tier wire-transport "
+                 "federation; overhead_ratio_on_vs_off = telemetry-on wall "
+                 "time / telemetry-off wall time (best-of interleaved reps). "
+                 "null_span_ns is the per-site cost every instrumented code "
+                 "path pays when telemetry is off."),
+    }
+
+
+def check_telemetry_regression(current: Dict, baseline_path: str,
+                               tolerance: float) -> int:
+    """Gate the telemetry-on overhead ratio against the committed baseline.
+
+    Unlike the throughput gates (where bigger is better) the overhead ratio is
+    a cost: the check fails when the current ratio exceeds the committed one
+    by more than ``tolerance`` (relative).
+    """
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    ref = committed.get("telemetry", {}).get("overhead_ratio_on_vs_off")
+    if not ref:
+        print(f"{baseline_path} carries no telemetry overhead baseline; "
+              "nothing to gate")
+        return 0
+    cur = current.get("telemetry", {}).get("overhead_ratio_on_vs_off")
+    if not cur:
+        print(f"[MISSING] telemetry/overhead_ratio_on_vs_off: committed "
+              f"{ref:.3f}x has no current measurement")
+        return 1
+    ceiling = (1.0 + tolerance) * ref
+    status = "OK" if cur <= ceiling else "REGRESSION"
+    print(f"[{status}] telemetry/overhead_ratio_on_vs_off: current {cur:.3f}x "
+          f"vs committed {ref:.3f}x (ceiling {ceiling:.3f}x)")
+    if cur > ceiling:
+        print(f"FAILED: telemetry-on overhead grew more than {tolerance:.0%} "
+              f"vs {baseline_path}")
+        return 1
+    print(f"Telemetry overhead within {tolerance:.0%} of {baseline_path}")
+    return 0
+
+
 # --------------------------------------------------------------- seed worker
 def _worker(spec_json: str) -> None:
     """Run one benchmark family in-process and print JSON (seed subprocess)."""
@@ -643,11 +788,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller token counts / fewer repetitions (CI smoke)")
-    parser.add_argument("--suite", choices=("hotpath", "aggregation"),
+    parser.add_argument("--suite", choices=("hotpath", "aggregation", "telemetry"),
                         default="hotpath",
                         help="hotpath: MoE dispatch/training throughput (default); "
                              "aggregation: server-side fold throughput, serial vs "
-                             "pooled, across shard counts and tree depths")
+                             "pooled, across shard counts and tree depths; "
+                             "telemetry: repro.obs tracing overhead, run-level "
+                             "on-vs-off ratio plus span microbenchmarks")
     parser.add_argument("--output", default=None,
                         help="where to write the results JSON (default: "
                              "BENCH_hotpath.json or BENCH_aggregation.json by suite)")
@@ -666,8 +813,9 @@ def main(argv=None) -> int:
         _worker(args.worker)
         return 0
 
-    default_output = ("BENCH_hotpath.json" if args.suite == "hotpath"
-                      else "BENCH_aggregation.json")
+    default_output = {"hotpath": "BENCH_hotpath.json",
+                      "aggregation": "BENCH_aggregation.json",
+                      "telemetry": "BENCH_telemetry.json"}[args.suite]
     output = args.output or os.path.join(REPO_ROOT, default_output)
     result = {
         "meta": {
@@ -682,6 +830,8 @@ def main(argv=None) -> int:
     }
     if args.suite == "aggregation":
         result["aggregation"] = run_aggregation_suite(args.quick)
+    elif args.suite == "telemetry":
+        result["telemetry"] = run_telemetry_suite(args.quick)
     else:
         result["presets"] = run_suite(args.quick)
         if args.seed_src:
@@ -705,6 +855,17 @@ def main(argv=None) -> int:
               "at 8 shards (critical path vs serial)")
         if args.check:
             return check_aggregation_regression(result, args.check, args.tolerance)
+        return 0
+    if args.suite == "telemetry":
+        tel = result["telemetry"]
+        print(f"  {tel['rounds']}-round run: off {tel['off_run_s']:.2f}s, on "
+              f"{tel['on_run_s']:.2f}s -> overhead "
+              f"{tel['overhead_ratio_on_vs_off']:.3f}x "
+              f"({tel['events_per_run']} events)")
+        print(f"  span cost: null {tel['null_span_ns']:.0f}ns, live "
+              f"{tel['live_span_ns']:.0f}ns")
+        if args.check:
+            return check_telemetry_regression(result, args.check, args.tolerance)
         return 0
     for preset, families in result["presets"].items():
         print(f"  {preset}: hot-loop fwd+bwd speedup "

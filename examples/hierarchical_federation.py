@@ -30,11 +30,18 @@ is checkpointed — with ``checkpoint_keep_last=2`` pruning older snapshots —
 the run is "killed" halfway, resumed from the latest snapshot, and the
 resumed result is verified to match an uninterrupted reference run exactly.
 
-Run with:  python examples/hierarchical_federation.py
+With ``--trace-dir DIR`` the 3-tier parallel run also records full telemetry
+(:mod:`repro.obs`): a JSONL span/metrics event log, a Chrome trace you can
+open in Perfetto (ui.perfetto.dev), and a Prometheus text snapshot — then
+prints the per-round breakdown table (``scripts/run_report.py`` renders the
+rest).
+
+Run with:  python examples/hierarchical_federation.py [--trace-dir traces/]
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import tempfile
 
@@ -97,7 +104,8 @@ def topology_config(checkpoint_dir: str | None = None, **overrides) -> RunConfig
     return RunConfig(**knobs)
 
 
-def three_tier_parallel_config(checkpoint_dir: str | None = None) -> RunConfig:
+def three_tier_parallel_config(checkpoint_dir: str | None = None,
+                               trace_dir: str | None = None) -> RunConfig:
     """The 3-tier tree with the fold plane behind the process pool."""
     return topology_config(
         checkpoint_dir,
@@ -105,10 +113,18 @@ def three_tier_parallel_config(checkpoint_dir: str | None = None) -> RunConfig:
         edge_tiers=(3, 2),                 # participants -> 3 edges -> 2 super-edges -> root
         aggregation_executor="process",    # pooled shard folds + tier-0 pre-folds
         aggregation_workers=2,
+        telemetry=trace_dir is not None,
+        telemetry_dir=trace_dir,
     )
 
 
-def main() -> None:
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-dir", default=None,
+                        help="record repro.obs telemetry for the 3-tier "
+                             "parallel run into this directory")
+    args = parser.parse_args(argv)
+
     print(f"reference: uninterrupted {NUM_ROUNDS}-round run "
           "(4 shards, 3 edges, trimmed mean)")
     reference_tuner = build_tuner(topology_config())
@@ -128,8 +144,10 @@ def main() -> None:
           "(greedy bin-pack on each participant's upload cost)")
 
     print("\n3-tier parallel tree: participants -> 3 edges -> 2 super-edges "
-          "-> 4 shards, folds in a process pool")
-    parallel_tuner = build_tuner(three_tier_parallel_config())
+          "-> 4 shards, folds in a process pool"
+          + (" (telemetry on)" if args.trace_dir else ""))
+    parallel_tuner = build_tuner(three_tier_parallel_config(
+        trace_dir=args.trace_dir))
     parallel = parallel_tuner.run(num_rounds=2)
     print(f"topology: {parallel_tuner.topology.describe()}")
     for r in parallel.rounds:
@@ -138,6 +156,15 @@ def main() -> None:
             for k, (bytes_, payloads) in enumerate(zip(r.tier_bytes,
                                                        r.tier_payloads)))
         print(f"  round {r.round_index}: {per_tier}")
+
+    if args.trace_dir:
+        from repro.obs import JSONL_FILE, format_table, load_events, round_table
+
+        events = load_events(os.path.join(args.trace_dir, JSONL_FILE))
+        print(f"\ntelemetry written to {args.trace_dir}/ "
+              "(trace.jsonl, trace_chrome.json for Perfetto, metrics.prom)")
+        headers, rows = round_table(events)
+        print(format_table(headers, rows))
 
     with tempfile.TemporaryDirectory(prefix="hier-fed-ckpt-") as workdir:
         checkpoint_dir = os.path.join(workdir, "checkpoints")

@@ -73,7 +73,7 @@ CONFIGS = {
 
 
 def build_tuner(name: str, checkpoint_dir: str | None = None,
-                kill_at: int | None = None):
+                kill_at: int | None = None, trace_dir: str | None = None):
     vocab = Vocabulary(size=96, num_topics=4)
     config = tiny_moe(vocab_size=vocab.size)
     dataset = make_gsm8k_like(vocab=vocab, num_samples=160, seed=3)
@@ -90,6 +90,8 @@ def build_tuner(name: str, checkpoint_dir: str | None = None,
         participants_per_round=4,
         checkpoint_every=CHECKPOINT_EVERY if checkpoint_dir else 0,
         checkpoint_dir=checkpoint_dir,
+        telemetry=trace_dir is not None,
+        telemetry_dir=trace_dir,
         **CONFIGS[name],
     )
     server = ParameterServer(MoETransformer(config))
@@ -109,7 +111,34 @@ def build_tuner(name: str, checkpoint_dir: str | None = None,
     return KilledMidFlight(server, participants, test, config=run_config)
 
 
-def run_config_smoke(name: str, workdir: str) -> list[str]:
+def check_round_spans(trace_dir: str, num_rounds: int) -> list[str]:
+    """Assert the resumed trace holds exactly one round span per round.
+
+    The killed child wrote spans for every round it completed; the resume
+    prunes the re-executed rounds' events before appending its own.  A
+    duplicated (or missing) round index means that prune/append contract
+    broke.
+    """
+    from repro.obs import JSONL_FILE, load_events
+
+    events = load_events(os.path.join(trace_dir, JSONL_FILE))
+    rounds = sorted(event["round"] for event in events
+                    if event.get("type") == "span" and event.get("cat") == "round")
+    failures = []
+    if rounds != list(range(num_rounds)):
+        failures.append(
+            f"round spans after resume: expected exactly one per round "
+            f"0..{num_rounds - 1}, got {rounds}")
+    run_spans = sum(1 for event in events
+                    if event.get("type") == "span" and event.get("cat") == "run")
+    if run_spans != 1:
+        failures.append(f"expected exactly 1 run span after resume "
+                        f"(the child's never completes), got {run_spans}")
+    return failures
+
+
+def run_config_smoke(name: str, workdir: str,
+                     trace_root: str | None = None) -> list[str]:
     """Kill+resume one matrix configuration; return a list of failures."""
     checkpoint_dir = os.path.join(workdir, name, "checkpoints")
     if os.path.isdir(checkpoint_dir):
@@ -117,6 +146,9 @@ def run_config_smoke(name: str, workdir: str) -> list[str]:
         # phase restore a *completed* run (zero rounds executed) and print a
         # vacuous PASS — every run must start from an empty snapshot dir.
         shutil.rmtree(checkpoint_dir)
+    trace_dir = os.path.join(trace_root, name) if trace_root else None
+    if trace_dir and os.path.isdir(trace_dir):
+        shutil.rmtree(trace_dir)  # same staleness hazard as checkpoints
 
     print(f"=== {name} ===", flush=True)
     print(f"[1/3] reference: uninterrupted {NUM_ROUNDS}-round run", flush=True)
@@ -125,10 +157,12 @@ def run_config_smoke(name: str, workdir: str) -> list[str]:
 
     print(f"[2/3] kill: subprocess dies mid round {KILL_AT_ROUND} "
           f"(snapshots every {CHECKPOINT_EVERY} rounds)", flush=True)
-    child = subprocess.run(
-        [sys.executable, os.path.abspath(__file__),
-         "--workdir", workdir, "--phase", "killed-child", "--config", name],
-        cwd=REPO_ROOT)
+    child_argv = [sys.executable, os.path.abspath(__file__),
+                  "--workdir", workdir, "--phase", "killed-child",
+                  "--config", name]
+    if trace_root:
+        child_argv += ["--trace-dir", trace_root]
+    child = subprocess.run(child_argv, cwd=REPO_ROOT)
     if child.returncode != 137:
         return [f"expected the child to die with os._exit(137), "
                 f"got {child.returncode}"]
@@ -138,10 +172,12 @@ def run_config_smoke(name: str, workdir: str) -> list[str]:
         return [f"no surviving checkpoint under {checkpoint_dir}"]
     print(f"[3/3] resume: from {os.path.basename(snapshot)} "
           f"to round {NUM_ROUNDS}", flush=True)
-    resumed_tuner = build_tuner(name, checkpoint_dir)
+    resumed_tuner = build_tuner(name, checkpoint_dir, trace_dir=trace_dir)
     resumed = resumed_tuner.run(num_rounds=NUM_ROUNDS, resume_from=snapshot)
 
     failures = []
+    if trace_dir:
+        failures += check_round_spans(trace_dir, NUM_ROUNDS)
     if resumed.tracker.as_series() != reference.tracker.as_series():
         failures.append("metric history differs")
     if len(resumed.rounds) != len(reference.rounds):
@@ -172,20 +208,27 @@ def main() -> int:
                         help="directory for checkpoints (uploaded as a CI artifact)")
     parser.add_argument("--config", choices=sorted(CONFIGS), default=None,
                         help="run a single matrix configuration (default: all)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="record repro.obs telemetry for the killed+resumed "
+                             "runs under this directory (one subdir per "
+                             "config) and assert the resumed trace has no "
+                             "duplicated round spans")
     parser.add_argument("--phase", choices=["main", "killed-child"], default="main",
                         help=argparse.SUPPRESS)
     args = parser.parse_args()
 
     if args.phase == "killed-child":
         checkpoint_dir = os.path.join(args.workdir, args.config, "checkpoints")
-        build_tuner(args.config, checkpoint_dir,
-                    kill_at=KILL_AT_ROUND).run(num_rounds=NUM_ROUNDS)
+        trace_dir = (os.path.join(args.trace_dir, args.config)
+                     if args.trace_dir else None)
+        build_tuner(args.config, checkpoint_dir, kill_at=KILL_AT_ROUND,
+                    trace_dir=trace_dir).run(num_rounds=NUM_ROUNDS)
         print("child: run completed without dying?!", flush=True)
         return 1  # the kill switch must have fired before this point
 
     all_failures = {}
     for name in ([args.config] if args.config else sorted(CONFIGS)):
-        failures = run_config_smoke(name, args.workdir)
+        failures = run_config_smoke(name, args.workdir, args.trace_dir)
         if failures:
             all_failures[name] = failures
     if all_failures:

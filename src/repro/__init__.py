@@ -26,7 +26,20 @@ Quickstart::
     server = ParameterServer(MoETransformer(config))
     tuner = FluxFineTuner(server, participants, test, config=RunConfig())
     result = tuner.run(num_rounds=5)
-    print(result.tracker.as_series())
+
+    # Library code never prints: route run output through the repro.obs
+    # structured logger (enable_console_logging() opts a script in).
+    from repro.obs import enable_console_logging, get_logger
+
+    enable_console_logging()
+    log = get_logger("quickstart")
+    for row in result.tracker.as_series():
+        log.info("round complete", **row)
+
+Pass ``RunConfig(telemetry=True, telemetry_dir="trace/")`` and the run also
+emits a JSONL span/metrics event log, a Chrome trace (open it in Perfetto)
+and a Prometheus text snapshot — see :mod:`repro.obs` and
+``scripts/run_report.py``.
 
 The ``RunConfig`` runtime block selects the :mod:`repro.runtime` execution
 engine: ``scheduler`` picks the aggregation policy (``"sync"`` — the default,
@@ -82,6 +95,15 @@ from .federated import (
     get_strategy,
 )
 from .metrics import PerformanceTracker, evaluate_model
+from .obs import (
+    MetricsRegistry,
+    NullTracer,
+    RunTelemetry,
+    Span,
+    Tracer,
+    enable_console_logging,
+    get_logger,
+)
 from .runtime import (
     AsyncScheduler,
     AvailabilityTraceSampler,
@@ -160,6 +182,14 @@ __all__ = [
     # metrics
     "evaluate_model",
     "PerformanceTracker",
+    # obs (tracing, metrics registry, structured logging)
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "MetricsRegistry",
+    "RunTelemetry",
+    "get_logger",
+    "enable_console_logging",
     # runtime (event-driven execution engine)
     "EventQueue",
     "Scheduler",

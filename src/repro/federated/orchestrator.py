@@ -128,6 +128,13 @@ class RunConfig:
     checkpoint_dir: Optional[str] = None     # where snapshots land (required if every > 0)
     checkpoint_keep_last: int = 0            # prune all but the K newest snapshots (0 = keep all)
 
+    # --- observability (repro.obs)
+    #: span tracing + metrics + exporters for the run; the default no-op
+    #: telemetry costs nothing on the hot path (gated by
+    #: ``perf_harness.py --suite telemetry``)
+    telemetry: bool = False
+    telemetry_dir: Optional[str] = None      # trace/metrics output dir (required if on)
+
     def __post_init__(self) -> None:
         if self.scheduler not in ("sync", "semisync", "async"):
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
@@ -199,6 +206,8 @@ class RunConfig:
             raise ValueError("checkpoint_every > 0 requires checkpoint_dir")
         if self.checkpoint_keep_last < 0:
             raise ValueError("checkpoint_keep_last must be non-negative")
+        if self.telemetry and not self.telemetry_dir:
+            raise ValueError("telemetry=True requires telemetry_dir")
 
     @property
     def resolved_edge_tiers(self) -> Tuple[int, ...]:
@@ -325,6 +334,13 @@ class FederatedFineTuner(abc.ABC):
         self._aggregation_pool = make_aggregation_pool(self.config)
         if self._aggregation_pool is not None:
             self.server.fold_pool = self._aggregation_pool
+        # --- observability: a RunTelemetry when config.telemetry is on, else
+        # the shared no-op NullTelemetry; the server shares the tracer so its
+        # per-shard folds appear in the same trace.
+        from ..obs import make_telemetry
+
+        self.telemetry = make_telemetry(self.config)
+        self.server.tracer = self.telemetry.tracer
 
     # ------------------------------------------------------------------ hooks
     @abc.abstractmethod
@@ -436,24 +452,31 @@ class FederatedFineTuner(abc.ABC):
         codec = get_codec(self.wire_codec_name())
         channel = self.channel_for(participant)
         delivered: List[ExpertUpdate] = []
-        for update in updates:
-            reference = None
-            if codec.needs_reference:
-                # Both endpoints delta against the server's *current* expert
-                # state, fetched once and shared, so the round trip is always
-                # consistent.  Under the sync/semisync schedulers this is also
-                # the state the client downloaded; under async it may have
-                # advanced past the client's stale download, making the top-k
-                # selection delta-vs-latest rather than delta-vs-downloaded.
-                reference = self.server.expert_state(update.layer, update.expert)
-            payload = encode_update(update, codec, reference=reference)
-            record = channel.send(payload, direction="up")
-            stats.record(record)
-            if record.delivered:
-                try:
-                    delivered.append(decode_update(record.payload, reference=reference))
-                except PayloadCorruptedError:
-                    stats.decode_failures += 1
+        with self.telemetry.tracer.span(
+                "uplink", category="transfer",
+                participant=participant.participant_id,
+                codec=self.wire_codec_name()) as span:
+            for update in updates:
+                reference = None
+                if codec.needs_reference:
+                    # Both endpoints delta against the server's *current* expert
+                    # state, fetched once and shared, so the round trip is always
+                    # consistent.  Under the sync/semisync schedulers this is also
+                    # the state the client downloaded; under async it may have
+                    # advanced past the client's stale download, making the top-k
+                    # selection delta-vs-latest rather than delta-vs-downloaded.
+                    reference = self.server.expert_state(update.layer, update.expert)
+                payload = encode_update(update, codec, reference=reference)
+                record = channel.send(payload, direction="up")
+                stats.record(record)
+                if record.delivered:
+                    try:
+                        delivered.append(decode_update(record.payload, reference=reference))
+                    except PayloadCorruptedError:
+                        stats.decode_failures += 1
+            span.set(sim_duration=stats.seconds, bytes=stats.total_bytes,
+                     payloads=stats.payloads, lost=stats.lost,
+                     corrupted=stats.corrupted)
         return delivered, stats
 
     def aggregate_round_updates(self, updates):
@@ -468,13 +491,22 @@ class FederatedFineTuner(abc.ABC):
         from ..comm import ChannelStats
 
         streaming = self.config.streaming_aggregation
-        if self.topology is not None:
-            return self.topology.aggregate(self.server, updates, streaming=streaming,
-                                           strategy=self.aggregation_strategy,
-                                           pool=self._aggregation_pool)
-        contributions = self.server.aggregate(updates, streaming=streaming,
-                                              strategy=self.aggregation_strategy)
-        return contributions, ChannelStats()
+        tracer = self.telemetry.tracer
+        with tracer.span("aggregate", category="fold",
+                         streaming=streaming) as span:
+            if self.topology is not None:
+                contributions, edge_stats = self.topology.aggregate(
+                    self.server, updates, streaming=streaming,
+                    strategy=self.aggregation_strategy,
+                    pool=self._aggregation_pool, tracer=tracer)
+            else:
+                contributions = self.server.aggregate(
+                    updates, streaming=streaming,
+                    strategy=self.aggregation_strategy)
+                edge_stats = ChannelStats()
+            span.set(num_keys=len(contributions),
+                     num_updates=sum(contributions.values()))
+        return contributions, edge_stats
 
     # ------------------------------------------------------------- run state
     def export_run_state(self) -> Dict:
@@ -595,6 +627,10 @@ class FederatedFineTuner(abc.ABC):
         resume = None
         if resume_from is not None:
             resume = restore_run_state(self, active, load_run_checkpoint(resume_from))
+        # Resuming prunes the re-executed rounds out of the existing trace and
+        # appends; a fresh run truncates.
+        self.telemetry.begin(
+            resume_round=int(resume["next_round"]) if resume is not None else None)
         try:
             if checkpointer is None and resume is None:
                 # Historical call shape: custom Scheduler implementations that
@@ -605,5 +641,6 @@ class FederatedFineTuner(abc.ABC):
                               target_metric=target_metric, checkpointer=checkpointer,
                               resume=resume)
         finally:
+            self.telemetry.finish()
             if self._aggregation_pool is not None:
                 self._aggregation_pool.close()

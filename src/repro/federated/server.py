@@ -48,6 +48,8 @@ class ParameterServer:
     num_shards: int = 1
 
     def __init__(self, global_model: MoETransformer, strategy=None) -> None:
+        from ..obs import NULL_TRACER
+
         self.global_model = global_model
         self.strategy = strategy
         self.round_index = 0
@@ -57,6 +59,9 @@ class ParameterServer:
         #: attached (and more than one shard) the per-shard folds run in
         #: process-pool workers instead of on the server thread
         self.fold_pool = None
+        #: span tracer for per-shard fold spans; the fine-tuner shares its
+        #: run telemetry tracer here, the no-op default costs nothing
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------ distribution
     def global_state(self) -> Dict[str, np.ndarray]:
@@ -118,8 +123,10 @@ class ParameterServer:
         for update in updates:
             aggregators[self.shard_of(update.key)].add(update)
         contributions: Dict[ExpertKey, int] = {}
-        for aggregator in aggregators:
-            contributions.update(aggregator.apply(self.global_model))
+        for shard, aggregator in enumerate(aggregators):
+            with self.tracer.span("fold_shard", category="fold", shard=shard,
+                                  num_updates=aggregator.num_updates):
+                contributions.update(aggregator.apply(self.global_model))
         return self._record(contributions)
 
     def _aggregate_pooled(self, updates: Iterable[ExpertUpdate], strategy,
@@ -144,7 +151,11 @@ class ParameterServer:
             shard_frames[self.shard_of(update.key)].append(frame_update(update))
         jobs = [(shard, framed) for shard, framed in enumerate(shard_frames) if framed]
         contributions: Dict[ExpertKey, int] = {}
-        for _, shard_result in self.fold_pool.fold_shards(strategy, streaming, jobs):
+        folded = self.fold_pool.fold_shards(strategy, streaming, jobs,
+                                            timed=self.tracer.enabled)
+        for record in self.fold_pool.last_span_records:
+            self.tracer.ingest(record)
+        for _, shard_result in folded:
             for (layer, expert), state_frame, count in shard_result:
                 self.global_model.load_expert_state(
                     layer, expert, decode_state_dict(state_frame))

@@ -58,6 +58,7 @@ from ..comm import (
     encode_update,
     get_codec,
 )
+from ..obs import NULL_TRACER
 from .aggregation import ExpertKey, ExpertUpdate
 
 #: inter-tier frames are lossless float64 — pre-folded partials must not lose
@@ -292,7 +293,8 @@ class AggregationTree:
         return partial
 
     def _fold_leaf_tier(self, updates: Iterable[ExpertUpdate], strategy,
-                        pool, codec) -> Dict[int, List[Tuple[ExpertUpdate, Optional[bytes]]]]:
+                        pool, codec, tracer=NULL_TRACER
+                        ) -> Dict[int, List[Tuple[ExpertUpdate, Optional[bytes]]]]:
         """Fold participant updates into tier-0 partials, serially or pooled.
 
         Returns ``{node: [(partial, frame-or-None), ...]}`` in node order of
@@ -308,8 +310,14 @@ class AggregationTree:
             for node, aggregator in enumerate(aggregators):
                 self.last_tier_counts[0][node] = aggregator.num_updates
                 if len(aggregator):
-                    partials[node] = [(partial, None)
-                                      for partial in self.partial_updates(node, aggregator)]
+                    # The serial fold streams updates into all nodes at once,
+                    # so the span covers the node's partial extraction (its
+                    # finalize work); pooled folds time the whole subtree fold
+                    # in their worker instead.
+                    with tracer.span("prefold_node", category="fold", node=node,
+                                     tier=0, num_updates=aggregator.num_updates):
+                        partials[node] = [(partial, None)
+                                          for partial in self.partial_updates(node, aggregator)]
             return partials
         # Pooled pre-fold: the updates cross the process boundary as lossless
         # wire frames (plus their in-memory staleness, which does not travel
@@ -323,12 +331,15 @@ class AggregationTree:
             self.last_tier_counts[0][node] += 1
         jobs = [(node, self.pseudo_id(0, node), frames)
                 for node, frames in framed.items()]
+        folded = pool.prefold_nodes(strategy, jobs, timed=tracer.enabled)
+        for record in pool.last_span_records:
+            tracer.ingest(record)
         return {node: [(decode_update(frame), frame) for frame in partial_frames]
-                for node, partial_frames in pool.prefold_nodes(strategy, jobs)}
+                for node, partial_frames in folded}
 
     def aggregate(self, server, updates: Iterable[ExpertUpdate],
-                  streaming: bool = False, strategy=None, pool=None
-                  ) -> Tuple[Dict[ExpertKey, int], ChannelStats]:
+                  streaming: bool = False, strategy=None, pool=None,
+                  tracer=None) -> Tuple[Dict[ExpertKey, int], ChannelStats]:
         """Run one round of N-tier aggregation into ``server``.
 
         Consumes ``updates`` one at a time (a generator streams straight into
@@ -345,11 +356,16 @@ class AggregationTree:
         the handful of partials in-process.  Pooled folding buffers each
         node's update frames before dispatch, trading the serial path's
         one-update-at-a-time memory profile for parallel fold throughput.
+
+        ``tracer`` (a :class:`~repro.obs.Tracer`) records per-node fold spans
+        and per-(tier, node) transfer spans; ``None`` is the no-op tracer.
         """
         self.reset_round_metrics()
+        if tracer is None:
+            tracer = NULL_TRACER
         codec = get_codec(EDGE_CODEC)
-        current = self._fold_leaf_tier(updates, strategy, pool, codec)
-        return self._propagate(server, current, streaming, strategy, codec)
+        current = self._fold_leaf_tier(updates, strategy, pool, codec, tracer)
+        return self._propagate(server, current, streaming, strategy, codec, tracer)
 
     def reset_round_metrics(self) -> None:
         """Zero the per-round counts/stats.
@@ -361,8 +377,8 @@ class AggregationTree:
         self.last_tier_counts = [[0] * width for width in self.tiers]
         self.last_tier_stats = [ChannelStats() for _ in self.tiers]
 
-    def _propagate(self, server, current, streaming, strategy, codec
-                   ) -> Tuple[Dict[ExpertKey, int], ChannelStats]:
+    def _propagate(self, server, current, streaming, strategy, codec,
+                   tracer=NULL_TRACER) -> Tuple[Dict[ExpertKey, int], ChannelStats]:
         """Ship tier-0 partials up the tree and into the root server."""
         # Inner tiers: deliver each node's partials to its parent aggregator,
         # re-fold, re-frame.  Nodes iterate in index order so channel fault
@@ -371,24 +387,36 @@ class AggregationTree:
             parents = [StreamingAggregator(strategy) for _ in range(self.tiers[tier + 1])]
             for node in sorted(current):
                 parent = self.parent_of(tier, node)
-                for partial, frame in current[node]:
-                    delivered = self._send(tier, node, partial, frame, codec)
-                    if delivered is not None:
-                        parents[parent].add(delivered)
+                with tracer.span("tier_send", category="transfer", tier=tier,
+                                 node=node, partials=len(current[node])) as span:
+                    airtime_before = self.last_tier_stats[tier].seconds
+                    for partial, frame in current[node]:
+                        delivered = self._send(tier, node, partial, frame, codec)
+                        if delivered is not None:
+                            parents[parent].add(delivered)
+                    span.set(sim_duration=self.last_tier_stats[tier].seconds
+                             - airtime_before)
             current = {}
             for node, aggregator in enumerate(parents):
                 self.last_tier_counts[tier + 1][node] = aggregator.num_updates
                 if len(aggregator):
-                    current[node] = [(partial, None) for partial in
-                                     aggregator.partials(self.pseudo_id(tier + 1, node))]
+                    with tracer.span("fold_node", category="fold", tier=tier + 1,
+                                     node=node, num_updates=aggregator.num_updates):
+                        current[node] = [(partial, None) for partial in
+                                         aggregator.partials(self.pseudo_id(tier + 1, node))]
 
         def delivered_partials():
             tier = self.depth - 1
             for node in sorted(current):
-                for partial, frame in current[node]:
-                    delivered = self._send(tier, node, partial, frame, codec)
-                    if delivered is not None:
-                        yield delivered
+                with tracer.span("tier_send", category="transfer", tier=tier,
+                                 node=node, partials=len(current[node])) as span:
+                    airtime_before = self.last_tier_stats[tier].seconds
+                    for partial, frame in current[node]:
+                        delivered = self._send(tier, node, partial, frame, codec)
+                        if delivered is not None:
+                            yield delivered
+                    span.set(sim_duration=self.last_tier_stats[tier].seconds
+                             - airtime_before)
 
         contributions = server.aggregate(delivered_partials(), streaming=streaming,
                                          strategy=strategy)

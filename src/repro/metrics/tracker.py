@@ -17,6 +17,13 @@ class RoundMetric:
     train_loss: Optional[float] = None
     #: measured wire payload bytes this round (0 under the analytic transport)
     comm_bytes: float = 0.0
+    #: measured uplink airtime this round (0 under the analytic transport)
+    wire_seconds: float = 0.0
+    #: payloads the channel faults lost / corrupted this round
+    payloads_lost: int = 0
+    payloads_corrupted: int = 0
+    #: measured aggregator-tier backhaul bytes (0 on a flat run)
+    edge_bytes: float = 0.0
 
 
 @dataclass
@@ -31,8 +38,15 @@ class PerformanceTracker:
     history: List[RoundMetric] = field(default_factory=list)
 
     def record(self, round_index: int, simulated_time: float, metric_value: float,
-               train_loss: Optional[float] = None, comm_bytes: float = 0.0) -> RoundMetric:
-        """Append one round's result."""
+               train_loss: Optional[float] = None, comm_bytes: float = 0.0,
+               wire_seconds: float = 0.0, payloads_lost: int = 0,
+               payloads_corrupted: int = 0, edge_bytes: float = 0.0) -> RoundMetric:
+        """Append one round's result.
+
+        The wire-level fields (``wire_seconds``, ``payloads_lost``,
+        ``payloads_corrupted``, ``edge_bytes``) default to zero so historical
+        positional call sites keep working.
+        """
         entry = RoundMetric(
             round_index=round_index,
             simulated_time=simulated_time,
@@ -40,6 +54,10 @@ class PerformanceTracker:
             relative_accuracy=metric_value / self.target if self.target > 0 else 0.0,
             train_loss=train_loss,
             comm_bytes=comm_bytes,
+            wire_seconds=wire_seconds,
+            payloads_lost=int(payloads_lost),
+            payloads_corrupted=int(payloads_corrupted),
+            edge_bytes=edge_bytes,
         )
         self.history.append(entry)
         return entry
@@ -69,6 +87,16 @@ class PerformanceTracker:
         """Measured wire traffic over the whole run."""
         return sum(m.comm_bytes for m in self.history)
 
+    def total_edge_bytes(self) -> float:
+        """Measured aggregator-tier backhaul over the whole run."""
+        return sum(m.edge_bytes for m in self.history)
+
+    def total_payloads_lost(self) -> int:
+        return sum(m.payloads_lost for m in self.history)
+
+    def total_payloads_corrupted(self) -> int:
+        return sum(m.payloads_corrupted for m in self.history)
+
     def times(self) -> List[float]:
         return [m.simulated_time for m in self.history]
 
@@ -88,6 +116,10 @@ class PerformanceTracker:
                 "relative_accuracy": round(m.relative_accuracy, 4),
                 "train_loss": None if m.train_loss is None else round(m.train_loss, 4),
                 "comm_bytes": round(m.comm_bytes, 1),
+                "wire_seconds": round(m.wire_seconds, 4),
+                "payloads_lost": m.payloads_lost,
+                "payloads_corrupted": m.payloads_corrupted,
+                "edge_bytes": round(m.edge_bytes, 1),
             }
             for m in self.history
         ]

@@ -1,0 +1,63 @@
+"""Structured logging for library and demo code.
+
+Library code never prints: it asks for a logger via :func:`get_logger` and
+emits key=value structured lines.  By default the ``repro`` logger tree has a
+:class:`logging.NullHandler` — silent unless the application opts in — and
+:func:`enable_console_logging` is the one-call opt-in used by the examples
+and the quickstart demo.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def _format_fields(fields: dict) -> str:
+    return " ".join(f"{key}={_render(value)}" for key, value in fields.items())
+
+
+def _render(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+class StructuredLogger(logging.LoggerAdapter):
+    """A LoggerAdapter rendering keyword fields as ``key=value`` pairs.
+
+    >>> log = get_logger("demo")
+    >>> log.info("round complete", round=3, loss=0.125)   # doctest: +SKIP
+    ... # -> "round complete round=3 loss=0.125"
+    """
+
+    def process(self, msg, kwargs):
+        fields = {key: kwargs.pop(key) for key in list(kwargs)
+                  if key not in ("exc_info", "stack_info", "stacklevel", "extra")}
+        if fields:
+            msg = f"{msg} {_format_fields(fields)}"
+        return msg, kwargs
+
+
+def get_logger(name: Optional[str] = None) -> StructuredLogger:
+    """A structured logger under the ``repro`` tree (``repro.<name>``)."""
+    base = logging.getLogger(_ROOT_NAME)
+    if not base.handlers:
+        base.addHandler(logging.NullHandler())
+    logger = base if not name else logging.getLogger(f"{_ROOT_NAME}.{name}")
+    return StructuredLogger(logger, {})
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the ``repro`` tree (for demos/scripts)."""
+    base = logging.getLogger(_ROOT_NAME)
+    if not any(isinstance(h, logging.StreamHandler)
+               and not isinstance(h, logging.NullHandler) for h in base.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        base.addHandler(handler)
+    base.setLevel(level)

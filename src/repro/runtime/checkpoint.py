@@ -51,10 +51,12 @@ _ROUND_DIR = re.compile(r"^round_(\d+)$")
 
 #: config fields a resumed run may legitimately change — everything else must
 #: match the snapshot exactly, or the continuation would silently diverge
-#: from the uninterrupted run.  All three are purely operational: cadence,
-#: location and retention of snapshots cannot affect run results.
+#: from the uninterrupted run.  All of these are purely operational:
+#: snapshot cadence/location/retention and telemetry output cannot affect
+#: run results.
 _RESUMABLE_CONFIG_FIELDS = frozenset(
-    {"checkpoint_every", "checkpoint_dir", "checkpoint_keep_last"})
+    {"checkpoint_every", "checkpoint_dir", "checkpoint_keep_last",
+     "telemetry", "telemetry_dir"})
 
 
 def _config_snapshot(config) -> Dict:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import abc
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -31,6 +32,7 @@ import numpy as np
 
 from ..comm import decode_update, encode_update, get_codec
 from ..federated.client import Participant
+from ..obs import NULL_TELEMETRY, span_record
 
 #: codec used to frame updates crossing the process boundary — lossless for
 #: every float dtype, so parallel execution stays bit-identical to serial
@@ -54,22 +56,39 @@ def _unframe_result(result, frames: Sequence[bytes]):
 
 
 def _run_participant_chunk(payload: bytes, participant_ids: Sequence[int],
-                           round_index: int) -> List[Tuple[int, object, List[bytes], dict]]:
+                           round_index: int
+                           ) -> List[Tuple[int, object, List[bytes], dict, Optional[dict]]]:
     """Worker-side: run a chunk of participants' rounds on one tuner snapshot.
 
     Chunking means the (potentially large) tuner payload crosses the process
     boundary once per worker rather than once per participant.  Participants
     within a chunk run sequentially against the same snapshot, which is
     exactly what the serial executor does — they are independent.
+
+    With telemetry on (the pickled tuner carries the flag) each entry also
+    ships a :func:`~repro.obs.span_record` of the participant's training,
+    measured with the worker's own clocks; the parent adopts it into the live
+    trace.  Telemetry off ships ``None``.
     """
     tuner = pickle.loads(payload)
+    timed = getattr(tuner, "telemetry", NULL_TELEMETRY).enabled
     out = []
     for participant_id in participant_ids:
         participant = tuner.participant_by_id(participant_id)
+        wall_start = time.time()
+        perf_start = time.perf_counter()
         result = tuner.participant_round(participant, round_index)
+        record = None
+        if timed:
+            record = span_record(
+                "participant_round", "train", wall_start,
+                time.perf_counter() - perf_start,
+                sim_duration=result.breakdown.total(
+                    overlap_profiling=result.overlap_profiling),
+                participant=participant_id, worker_pid=os.getpid())
         stripped, frames = _frame_result(result)
         out.append((participant_id, stripped, frames,
-                    tuner.export_participant_state(participant_id)))
+                    tuner.export_participant_state(participant_id), record))
     return out
 
 
@@ -148,6 +167,30 @@ def _prefold_node_frames(strategy, pseudo_id: int,
     return [encode_update(partial, codec) for partial in aggregator.partials(pseudo_id)]
 
 
+def _timed_fold_shard(strategy, streaming: bool, framed, shard: int):
+    """Worker-side: :func:`_fold_shard_frames` plus a fold span record."""
+    wall_start = time.time()
+    perf_start = time.perf_counter()
+    result = _fold_shard_frames(strategy, streaming, framed)
+    record = span_record("fold_shard", "fold", wall_start,
+                         time.perf_counter() - perf_start,
+                         shard=shard, num_updates=len(framed),
+                         worker_pid=os.getpid())
+    return result, record
+
+
+def _timed_prefold_node(strategy, pseudo_id: int, framed, node: int):
+    """Worker-side: :func:`_prefold_node_frames` plus a fold span record."""
+    wall_start = time.time()
+    perf_start = time.perf_counter()
+    result = _prefold_node_frames(strategy, pseudo_id, framed)
+    record = span_record("prefold_node", "fold", wall_start,
+                         time.perf_counter() - perf_start,
+                         node=node, tier=0, num_updates=len(framed),
+                         worker_pid=os.getpid())
+    return result, record
+
+
 class AggregationPool:
     """Process pool for server-side fold work (expert shards, tree nodes).
 
@@ -170,6 +213,9 @@ class AggregationPool:
             raise ValueError("max_workers must be positive")
         self.max_workers = max_workers
         self._pool: Optional[ProcessPoolExecutor] = None
+        #: worker-measured fold span records of the most recent ``timed=True``
+        #: call (cleared per call), for the caller's tracer to ingest
+        self.last_span_records: List[dict] = []
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -187,21 +233,52 @@ class AggregationPool:
         return picklable_strategy(strategy)
 
     def fold_shards(self, strategy, streaming: bool,
-                    jobs: Sequence[Tuple[int, Sequence[Tuple[bytes, int]]]]
+                    jobs: Sequence[Tuple[int, Sequence[Tuple[bytes, int]]]],
+                    timed: bool = False
                     ) -> List[Tuple[int, List[Tuple[Tuple[int, int], bytes, int]]]]:
-        """Fold every shard's framed updates concurrently; results in job order."""
+        """Fold every shard's framed updates concurrently; results in job order.
+
+        ``timed=True`` additionally measures each shard's fold in its worker
+        and leaves the span records in :attr:`last_span_records`.
+        """
         strategy = self._worker_strategy(strategy)
         pool = self._ensure_pool()
+        self.last_span_records = []
+        if timed:
+            futures = [(shard, pool.submit(_timed_fold_shard, strategy, streaming,
+                                           framed, shard))
+                       for shard, framed in jobs]
+            out = []
+            for shard, future in futures:
+                result, record = future.result()
+                self.last_span_records.append(record)
+                out.append((shard, result))
+            return out
         futures = [(shard, pool.submit(_fold_shard_frames, strategy, streaming, framed))
                    for shard, framed in jobs]
         return [(shard, future.result()) for shard, future in futures]
 
     def prefold_nodes(self, strategy,
-                      jobs: Sequence[Tuple[int, int, Sequence[Tuple[bytes, int]]]]
-                      ) -> List[Tuple[int, List[bytes]]]:
-        """Pre-fold every tree node's framed updates concurrently (job order)."""
+                      jobs: Sequence[Tuple[int, int, Sequence[Tuple[bytes, int]]]],
+                      timed: bool = False) -> List[Tuple[int, List[bytes]]]:
+        """Pre-fold every tree node's framed updates concurrently (job order).
+
+        ``timed=True`` measures each node's fold worker-side into
+        :attr:`last_span_records`, as :meth:`fold_shards` does.
+        """
         strategy = self._worker_strategy(strategy)
         pool = self._ensure_pool()
+        self.last_span_records = []
+        if timed:
+            futures = [(node, pool.submit(_timed_prefold_node, strategy, pseudo_id,
+                                          framed, node))
+                       for node, pseudo_id, framed in jobs]
+            out = []
+            for node, future in futures:
+                result, record = future.result()
+                self.last_span_records.append(record)
+                out.append((node, result))
+            return out
         futures = [(node, pool.submit(_prefold_node_frames, strategy, pseudo_id, framed))
                    for node, pseudo_id, framed in jobs]
         return [(node, future.result()) for node, future in futures]
@@ -247,8 +324,20 @@ class SerialExecutor(ParticipantExecutor):
 
     def run_participants(self, tuner, participants: Sequence[Participant],
                          round_index: int) -> Dict[int, object]:
-        return {participant.participant_id: tuner.participant_round(participant, round_index)
-                for participant in participants}
+        tracer = getattr(tuner, "telemetry", NULL_TELEMETRY).tracer
+        if not tracer.enabled:
+            return {participant.participant_id:
+                    tuner.participant_round(participant, round_index)
+                    for participant in participants}
+        results: Dict[int, object] = {}
+        for participant in participants:
+            with tracer.span("participant_round", category="train",
+                             participant=participant.participant_id) as span:
+                result = tuner.participant_round(participant, round_index)
+                span.set(sim_duration=result.breakdown.total(
+                    overlap_profiling=result.overlap_profiling))
+            results[participant.participant_id] = result
+        return results
 
 
 class ProcessPoolParticipantExecutor(ParticipantExecutor):
@@ -295,10 +384,13 @@ class ProcessPoolParticipantExecutor(ParticipantExecutor):
                   np.array_split(np.asarray(ids), min(workers, len(ids)))]
         futures = [pool.submit(_run_participant_chunk, payload, chunk, round_index)
                    for chunk in chunks if chunk]
+        tracer = getattr(tuner, "telemetry", NULL_TELEMETRY).tracer
         collected: Dict[int, object] = {}
         for future in futures:
-            for participant_id, result, frames, state in future.result():
+            for participant_id, result, frames, state, record in future.result():
                 tuner.import_participant_state(participant_id, state)
+                if record is not None:
+                    tracer.ingest(record)
                 collected[participant_id] = _unframe_result(result, frames)
         return {pid: collected[pid] for pid in ids}  # preserve participants order
 

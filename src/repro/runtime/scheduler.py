@@ -34,6 +34,7 @@ per-(round, participant) fault RNGs, so identical configs replay identical
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field as dataclasses_field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,7 @@ from ..federated.orchestrator import (
     RunResult,
 )
 from ..metrics import PerformanceTracker
+from ..obs import NULL_TELEMETRY
 from ..systems import RoundTimeline, RunTimeline
 from .events import EventQueue
 from .executor import ParticipantExecutor, SerialExecutor, make_executor
@@ -99,6 +101,11 @@ class Scheduler(abc.ABC):
             run_timeline = RunTimeline()
             rounds = []
             start_round = 0
+        telemetry = getattr(tuner, "telemetry", NULL_TELEMETRY)
+        tracer = telemetry.tracer
+        wire_codec = (tuner.wire_codec_name()
+                      if getattr(tuner.config, "transport", "analytic") == "wire"
+                      else None)
         try:
             if start_round < num_rounds:
                 # start_round is only passed when actually resuming, so custom
@@ -111,20 +118,35 @@ class Scheduler(abc.ABC):
                                                       start_round=start_round)
                 else:
                     results_iter = self.round_results(tuner, num_rounds)
-                for round_result in results_iter:
-                    rounds.append(round_result)
-                    run_timeline.add(round_result.timeline)
-                    tracker.record(
-                        round_index=round_result.round_index,
-                        simulated_time=round_result.simulated_time,
-                        metric_value=round_result.metric_value,
-                        train_loss=round_result.train_loss,
-                        comm_bytes=round_result.wire_bytes,
-                    )
-                    if checkpointer is not None and checkpointer.due(len(rounds)):
-                        checkpointer.save(tuner, self, tracker, run_timeline, rounds)
-                    if stop_at_target and round_result.metric_value >= goal:
-                        break
+                with tracer.span("run", category="run", scheduler=self.name,
+                                 method=tuner.name, start_round=start_round,
+                                 num_rounds=num_rounds):
+                    for round_result in results_iter:
+                        rounds.append(round_result)
+                        run_timeline.add(round_result.timeline)
+                        tracker.record(
+                            round_index=round_result.round_index,
+                            simulated_time=round_result.simulated_time,
+                            metric_value=round_result.metric_value,
+                            train_loss=round_result.train_loss,
+                            comm_bytes=round_result.wire_bytes,
+                            wire_seconds=round_result.wire_seconds,
+                            payloads_lost=round_result.payloads_lost,
+                            payloads_corrupted=round_result.payloads_corrupted,
+                            edge_bytes=round_result.edge_bytes,
+                        )
+                        telemetry.end_round(round_result, codec=wire_codec)
+                        if checkpointer is not None and checkpointer.due(len(rounds)):
+                            save_start = time.perf_counter()
+                            with tracer.span("checkpoint", category="checkpoint",
+                                             round=round_result.round_index,
+                                             rounds_completed=len(rounds)):
+                                path = checkpointer.save(tuner, self, tracker,
+                                                         run_timeline, rounds)
+                            telemetry.record_checkpoint(
+                                path, time.perf_counter() - save_start)
+                        if stop_at_target and round_result.metric_value >= goal:
+                            break
         finally:
             self.executor.close()
         return RunResult(method=tuner.name, tracker=tracker, timeline=run_timeline,
@@ -180,11 +202,14 @@ class Scheduler(abc.ABC):
         ``(participant, result, duration, fault)`` with straggler-scaled
         breakdowns.
         """
-        selected = self.select(tuner, round_index)
-        tuner.before_round(round_index, selected)
-        outcomes = {p.participant_id: self.faults.outcome(round_index, p.participant_id)
-                    for p in selected}
-        survivors = [p for p in selected if not outcomes[p.participant_id].dropped]
+        tracer = getattr(tuner, "telemetry", NULL_TELEMETRY).tracer
+        with tracer.span("select", category="select", round=round_index) as span:
+            selected = self.select(tuner, round_index)
+            tuner.before_round(round_index, selected)
+            outcomes = {p.participant_id: self.faults.outcome(round_index, p.participant_id)
+                        for p in selected}
+            survivors = [p for p in selected if not outcomes[p.participant_id].dropped]
+            span.set(selected=len(selected), survivors=len(survivors))
         raw_results = self.executor.run_participants(tuner, survivors, round_index)
         entries = []
         for participant in survivors:
@@ -255,14 +280,18 @@ class SyncScheduler(Scheduler):
     def run_round(self, tuner: FederatedFineTuner, round_index: int
                   ) -> Tuple[RoundResult, Dict[int, ParticipantRoundResult]]:
         """Execute one synchronous federated round."""
-        selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
-        timeline = RoundTimeline(round_index=round_index)
-        results, losses, wire, edge, tiers = self._aggregate_round(
-            tuner, round_index, timeline,
-            [(participant, result) for participant, result, _, _ in entries])
+        tracer = getattr(tuner, "telemetry", NULL_TELEMETRY).tracer
+        with tracer.span("round", category="round", round=round_index) as span:
+            selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
+            timeline = RoundTimeline(round_index=round_index)
+            results, losses, wire, edge, tiers = self._aggregate_round(
+                tuner, round_index, timeline,
+                [(participant, result) for participant, result, _, _ in entries])
 
-        duration = timeline.round_duration()
-        simulated_time = tuner.clock.advance(duration)
+            duration = timeline.round_duration()
+            simulated_time = tuner.clock.advance(duration)
+            span.set(sim_time=simulated_time, sim_duration=duration,
+                     aggregated=len(results))
         round_result = RoundResult(
             round_index=round_index,
             train_loss=float(np.mean(losses)) if losses else 0.0,
@@ -317,26 +346,30 @@ class SemiSyncScheduler(Scheduler):
         return max(deadline, min(durations))
 
     def _run_round(self, tuner: FederatedFineTuner, round_index: int) -> RoundResult:
-        selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
+        tracer = getattr(tuner, "telemetry", NULL_TELEMETRY).tracer
+        with tracer.span("round", category="round", round=round_index) as span:
+            selected, num_dropped, entries = self._execute_round_work(tuner, round_index)
 
-        queue = EventQueue()
-        durations: List[float] = []
-        for participant, result, duration, _ in entries:
-            durations.append(duration)
-            queue.push(duration, "finish", participant=participant, result=result)
+            queue = EventQueue()
+            durations: List[float] = []
+            for participant, result, duration, _ in entries:
+                durations.append(duration)
+                queue.push(duration, "finish", participant=participant, result=result)
 
-        deadline = self._round_deadline(durations) if durations else 0.0
-        arrivals = [(event.payload["participant"], event.payload["result"])
-                    for event in queue.pop_until(deadline)]
-        num_stragglers = len(queue)
+            deadline = self._round_deadline(durations) if durations else 0.0
+            arrivals = [(event.payload["participant"], event.payload["result"])
+                        for event in queue.pop_until(deadline)]
+            num_stragglers = len(queue)
 
-        timeline = RoundTimeline(round_index=round_index)
-        results, losses, wire, edge, tiers = self._aggregate_round(
-            tuner, round_index, timeline, arrivals)
+            timeline = RoundTimeline(round_index=round_index)
+            results, losses, wire, edge, tiers = self._aggregate_round(
+                tuner, round_index, timeline, arrivals)
 
-        duration = deadline + timeline.server_time
-        timeline.duration_override = duration
-        simulated_time = tuner.clock.advance(duration)
+            duration = deadline + timeline.server_time
+            timeline.duration_override = duration
+            simulated_time = tuner.clock.advance(duration)
+            span.set(sim_time=simulated_time, sim_duration=duration,
+                     deadline=deadline, aggregated=len(results))
         return RoundResult(
             round_index=round_index,
             train_loss=float(np.mean(losses)) if losses else 0.0,
@@ -521,6 +554,8 @@ class AsyncScheduler(Scheduler):
         else:
             st = self._st = _AsyncLoopState()
 
+        tracer = getattr(tuner, "telemetry", NULL_TELEMETRY).tracer
+
         def start_client(now: float) -> bool:
             idle = [p for p in tuner.participants if p.participant_id not in st.active]
             picked = self._sample(tuner, idle, 1, st.version) if idle else []
@@ -530,13 +565,18 @@ class AsyncScheduler(Scheduler):
             participant = picked[0]
             st.active.add(participant.participant_id)
             tuner.before_round(st.version, [participant])
-            result = tuner.participant_round(participant, st.version)
-            fault = self.faults.outcome(st.task_counter, participant.participant_id)
-            st.task_counter += 1
-            if fault.is_straggler:
-                result = replace(result,
-                                 breakdown=scale_breakdown(result.breakdown, fault.slowdown))
-            duration = self._result_duration(result)
+            with tracer.span("participant_round", category="train",
+                             round=st.version,
+                             participant=participant.participant_id) as span:
+                result = tuner.participant_round(participant, st.version)
+                fault = self.faults.outcome(st.task_counter, participant.participant_id)
+                st.task_counter += 1
+                if fault.is_straggler:
+                    result = replace(result,
+                                     breakdown=scale_breakdown(result.breakdown,
+                                                               fault.slowdown))
+                duration = self._result_duration(result)
+                span.set(sim_duration=duration)
             st.queue.push(now + duration, "finish", participant=participant, result=result,
                           start_version=st.version, dropped=fault.dropped)
             return True
@@ -608,25 +648,29 @@ class AsyncScheduler(Scheduler):
     def _aggregate(self, tuner: FederatedFineTuner, version: int, buffer: List[dict],
                    num_dropped: int, now: float,
                    last_aggregation_time: float) -> RoundResult:
-        contributors: List[Tuple[Participant, ParticipantRoundResult]] = []
-        stalenesses: List[int] = []
-        for entry in buffer:
-            staleness = version - entry["start_version"]
-            stalenesses.append(staleness)
-            discount = self.staleness_discount(staleness)
-            result = entry["result"]
-            discounted = replace(result, updates=[
-                replace(update, weight=update.weight * discount, staleness=staleness)
-                for update in result.updates])
-            contributors.append((entry["participant"], discounted))
+        tracer = getattr(tuner, "telemetry", NULL_TELEMETRY).tracer
+        with tracer.span("round", category="round", round=version,
+                         buffered=len(buffer)) as span:
+            contributors: List[Tuple[Participant, ParticipantRoundResult]] = []
+            stalenesses: List[int] = []
+            for entry in buffer:
+                staleness = version - entry["start_version"]
+                stalenesses.append(staleness)
+                discount = self.staleness_discount(staleness)
+                result = entry["result"]
+                discounted = replace(result, updates=[
+                    replace(update, weight=update.weight * discount, staleness=staleness)
+                    for update in result.updates])
+                contributors.append((entry["participant"], discounted))
 
-        timeline = RoundTimeline(round_index=version)
-        _, losses, wire, edge, tiers = self._aggregate_round(
-            tuner, version, timeline, contributors)
+            timeline = RoundTimeline(round_index=version)
+            _, losses, wire, edge, tiers = self._aggregate_round(
+                tuner, version, timeline, contributors)
 
-        duration = max(now + timeline.server_time - last_aggregation_time, 0.0)
-        timeline.duration_override = duration
-        simulated_time = tuner.clock.advance(duration)
+            duration = max(now + timeline.server_time - last_aggregation_time, 0.0)
+            timeline.duration_override = duration
+            simulated_time = tuner.clock.advance(duration)
+            span.set(sim_time=simulated_time, sim_duration=duration)
         return RoundResult(
             round_index=version,
             train_loss=float(np.mean(losses)) if losses else 0.0,

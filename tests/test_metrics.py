@@ -165,3 +165,45 @@ class TestPerformanceTracker:
         assert tracker.best_metric() == 0.0
         assert tracker.final_metric() == 0.0
         assert tracker.times() == []
+
+    def test_empty_history_queries_and_totals(self):
+        tracker = PerformanceTracker(target=0.5)
+        assert tracker.time_to_target() is None
+        assert not tracker.reached_target()
+        assert tracker.total_comm_bytes() == 0.0
+        assert tracker.total_edge_bytes() == 0.0
+        assert tracker.total_payloads_lost() == 0
+        assert tracker.total_payloads_corrupted() == 0
+        assert tracker.as_series() == []
+
+    def test_non_positive_target_gives_zero_relative_accuracy(self):
+        for target in (0.0, -1.0):
+            tracker = PerformanceTracker(target=target)
+            entry = tracker.record(0, 1.0, 0.5)
+            assert entry.relative_accuracy == 0.0
+            assert tracker.relative_accuracies() == [0.0]
+
+    def test_target_never_reached_over_many_rounds(self):
+        tracker = PerformanceTracker(target=0.9)
+        for i in range(5):
+            tracker.record(i, float(i + 1), 0.1 * i)  # plateaus at 0.4
+        assert tracker.time_to_target() is None
+        assert not tracker.reached_target()
+        # a custom (lower) target can still be answered from the same history
+        assert tracker.time_to_target(0.2) == pytest.approx(3.0)
+
+    def test_wire_fields_recorded_and_totalled(self):
+        tracker = PerformanceTracker(target=1.0)
+        tracker.record(0, 1.0, 0.1, comm_bytes=100.0, wire_seconds=0.5,
+                       payloads_lost=1, payloads_corrupted=2, edge_bytes=64.0)
+        tracker.record(1, 2.0, 0.2, comm_bytes=50.0, wire_seconds=0.25,
+                       payloads_corrupted=1, edge_bytes=32.0)
+        assert tracker.total_comm_bytes() == pytest.approx(150.0)
+        assert tracker.total_edge_bytes() == pytest.approx(96.0)
+        assert tracker.total_payloads_lost() == 1
+        assert tracker.total_payloads_corrupted() == 3
+        row = tracker.as_series()[0]
+        assert row["wire_seconds"] == pytest.approx(0.5)
+        assert row["payloads_lost"] == 1
+        assert row["payloads_corrupted"] == 2
+        assert row["edge_bytes"] == pytest.approx(64.0)
