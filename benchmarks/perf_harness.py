@@ -58,6 +58,18 @@ import numpy as np  # noqa: E402
 #: benchmarked (dispatch, dtype) configurations
 CONFIGS = (("loop", "float64"), ("batched", "float64"), ("batched", "float32"))
 
+#: hot-loop-only extra configuration: zero-skipping sparse dispatch over
+#: experts sparsified to SPARSE_DENSITY (quantized to SPARSE_BITS).  Not a
+#: like-for-like model with the dense configs — it is bit-identical to
+#: ``batched`` *on the same sparsified weights*, which is what the dedicated
+#: ``--suite sparse`` gates.
+HOT_EXTRA_CONFIGS = (("sparse", "float32"),)
+
+#: expert channel density / fake-quantization width used by every sparse
+#: benchmark (25% live channels, ternary-ish int2 codes)
+SPARSE_DENSITY = 0.25
+SPARSE_BITS = 2
+
 #: the fast path and the baseline the speedup headline compares
 FAST_CONFIG = "batched/float32"
 BASELINE_CONFIG = "loop/float64"
@@ -150,10 +162,18 @@ def _make_model(preset: str, dispatch: Optional[str], dtype: Optional[str]):
 def build_hot_loop(preset: str, dispatch: Optional[str], dtype: Optional[str],
                    tokens: int) -> Dict:
     """Phase closures for the MoE hot-loop microbenchmark of one config."""
+    layer = _make_layer(preset, dispatch, dtype)
+    if dispatch == "sparse":
+        # The sparse fast path only pays off on structurally-sparsified
+        # experts; on dense weights it falls back to the batched plan.
+        layer.sparsify_experts(SPARSE_DENSITY, bits=SPARSE_BITS)
+    return _layer_phases(layer, tokens, dtype or "float64")
+
+
+def _layer_phases(layer, tokens: int, np_dtype: str) -> Dict:
+    """forward / forward_backward / round closures driving one MoE layer."""
     from repro.autograd import Adam, Tensor
 
-    layer = _make_layer(preset, dispatch, dtype)
-    np_dtype = dtype or "float64"
     # Sequences of 32 tokens: tiny_moe's own max_seq_len, so the
     # microbenchmark drives the layer with shapes the preset actually sees.
     batch = max(tokens // 32, 1)
@@ -263,7 +283,7 @@ def run_suite(quick: bool) -> Dict:
     for preset in PRESET_NAMES:
         e2e_tokens = min(tokens, 1024)
         hot_builds = {f"{dispatch}/{dtype}": build_hot_loop(preset, dispatch, dtype, tokens)
-                      for dispatch, dtype in CONFIGS}
+                      for dispatch, dtype in CONFIGS + HOT_EXTRA_CONFIGS}
         hot_times = _interleaved_best_times(hot_builds, iters, reps)
         hot_configs = {name: _hot_loop_result(times, tokens, hot_builds[name]["round"])
                        for name, times in hot_times.items()}
@@ -282,6 +302,12 @@ def run_suite(quick: bool) -> Dict:
                     _speedup(hot_configs, "forward_backward_tokens_per_s"),
                 "round_speedup_batched_f32_vs_loop_f64":
                     _speedup(hot_configs, "round_tokens_per_s"),
+                # informational: sparse runs a sparsified model, so this is a
+                # work-reduction ratio, not a like-for-like config speedup
+                # (the apples-to-apples gate lives in --suite sparse)
+                "round_speedup_sparse_f32_vs_batched_f32": (
+                    hot_configs["sparse/float32"]["round_tokens_per_s"]
+                    / hot_configs["batched/float32"]["round_tokens_per_s"]),
             },
             "end_to_end": {
                 "tokens": min(tokens, 1024),
@@ -541,6 +567,11 @@ def check_aggregation_regression(current: Dict, baseline_path: str,
 
     committed_agg = committed.get("aggregation", {})
     current_agg = current.get("aggregation", {})
+    if not any(committed_agg.get(section) for section in ("shards", "tree")):
+        print(f"[MISSING] {baseline_path} carries no aggregation suite "
+              "baseline; a gated suite without a committed reference cannot "
+              "pass")
+        return 1
     for section in ("shards", "tree"):
         for name, ref_entry in committed_agg.get(section, {}).items():
             gate(section, name, current_agg.get(section, {}).get(name, {}), ref_entry)
@@ -549,6 +580,221 @@ def check_aggregation_regression(current: Dict, baseline_path: str,
               f"than {tolerance:.0%} (or went unmeasured) vs {baseline_path}")
         return 1
     print(f"All aggregation speedups within {tolerance:.0%} of {baseline_path}")
+    return 0
+
+
+# ------------------------------------------------------------- sparse suite
+#: (name, d_model, d_ff, num_experts, top_k) layer shapes for --suite sparse;
+#: the first is the llama-moe-mini layer shape, the second a mid-size layer
+#: where zero skipping pays off even more
+SPARSE_WORKLOADS = (("llama_moe_mini", 32, 64, 8, 2),
+                    ("mid_64x256", 64, 256, 8, 2))
+
+
+def _make_sparsified_layer(d_model: int, d_ff: int, num_experts: int,
+                           top_k: int, dispatch: str):
+    """A float32 MoE layer sparsified in place; same seed => same weights."""
+    from repro.autograd import default_dtype
+    from repro.models.moe_layer import MoELayer
+
+    rng = np.random.default_rng(0)
+    with default_dtype("float32"):
+        layer = MoELayer(d_model=d_model, d_ff=d_ff, num_experts=num_experts,
+                         top_k=top_k, rng=rng, dispatch=dispatch)
+    layer.sparsify_experts(SPARSE_DENSITY, bits=SPARSE_BITS)
+    return layer
+
+
+def _bench_sparse_kernels(workload, tokens: int, iters: int, reps: int) -> Dict:
+    """batched vs sparse dispatch over identical sparsified expert weights."""
+    name, d_model, d_ff, num_experts, top_k = workload
+    builds = {
+        dispatch: _layer_phases(
+            _make_sparsified_layer(d_model, d_ff, num_experts, top_k, dispatch),
+            tokens, "float32")
+        for dispatch in ("batched", "sparse")
+    }
+    times = _interleaved_best_times(builds, iters, reps)
+    configs = {dispatch: _hot_loop_result(phase_times, tokens,
+                                          builds[dispatch]["round"])
+               for dispatch, phase_times in times.items()}
+    return {
+        "d_model": d_model, "d_ff": d_ff, "num_experts": num_experts,
+        "top_k": top_k, "tokens": tokens,
+        "configs": configs,
+        "speedup_sparse_vs_batched_forward_backward": (
+            configs["sparse"]["forward_backward_tokens_per_s"]
+            / configs["batched"]["forward_backward_tokens_per_s"]),
+        "speedup_sparse_vs_batched_round": (
+            configs["sparse"]["round_tokens_per_s"]
+            / configs["batched"]["round_tokens_per_s"]),
+    }
+
+
+def _bench_sparse_wire(iters: int, reps: int) -> Dict:
+    """Composed ``topk:<density>:int<bits>`` codec: bytes + throughput.
+
+    Encodes one expert's delta under the composed sparse codec and under
+    ``fp64``, and cross-checks the measured frame size against the codec's
+    ``wire_bytes_per_param`` analytics (the wire-cost model the federated
+    layer's :class:`ExchangePlan` reports).
+    """
+    from repro.comm import encode_state_dict, decode_state_dict, get_codec
+    from repro.models import MoETransformer
+    from repro.models.presets import get_preset
+
+    codec_name = f"topk:{SPARSE_DENSITY:g}:int4"
+    codec = get_codec(codec_name)
+    dense = get_codec("fp64")
+    model = MoETransformer(get_preset("llama-moe-mini"))
+    reference = model.expert_state(0, 0)
+    rng = np.random.default_rng(0)
+    state = {key: value + 0.01 * rng.normal(size=value.shape)
+             for key, value in reference.items()}
+    params = sum(value.size for value in state.values())
+
+    sparse_frame = encode_state_dict(state, codec, reference=reference)
+    dense_frame = encode_state_dict(state, dense)
+    analytic = sum(value.size * codec.wire_bytes_per_param(group_size=value.size)
+                   for value in state.values())
+
+    fns = {
+        "encode": {"wire": lambda: encode_state_dict(state, codec,
+                                                     reference=reference)},
+        "decode": {"wire": lambda: decode_state_dict(sparse_frame,
+                                                     reference=reference)},
+        "encode_fp64": {"wire": lambda: encode_state_dict(state, dense)},
+    }
+    times = _interleaved_best_times(fns, iters, reps)
+    return {
+        "codec": codec_name,
+        "params_per_expert": params,
+        "measured_frame_bytes": len(sparse_frame),
+        "analytic_payload_bytes": analytic,
+        "measured_vs_analytic_rel_err":
+            abs(len(sparse_frame) - analytic) / analytic,
+        "fp64_frame_bytes": len(dense_frame),
+        "bytes_ratio_vs_fp64": len(sparse_frame) / len(dense_frame),
+        "encode_params_per_s": params / times["encode"]["wire"],
+        "decode_params_per_s": params / times["decode"]["wire"],
+        "fp64_encode_params_per_s": params / times["encode_fp64"]["wire"],
+    }
+
+
+def _bench_sparse_checkpoint(iters: int, reps: int) -> Dict:
+    """Full vs sparse-delta model snapshot cost (time and bytes on disk).
+
+    The delta snapshot simulates one federated round: only a top-k slice of
+    the experts' parameters moved since the previous snapshot, which is
+    exactly the regime ``checkpoint_delta_every`` targets.
+    """
+    import shutil
+    import tempfile
+
+    from repro.models import MoETransformer
+    from repro.models.checkpoint import save_state_checkpoint, save_state_delta
+    from repro.models.presets import get_preset
+
+    model = MoETransformer(get_preset("llama-moe-mini"))
+    previous = {key: np.array(value, copy=True)
+                for key, value in model.state_dict().items()}
+    rng = np.random.default_rng(0)
+    current = {}
+    for key, value in previous.items():
+        updated = np.array(value, copy=True)
+        flat = updated.reshape(-1)
+        touched = rng.choice(flat.size, size=max(1, flat.size // 20),
+                             replace=False)
+        flat[touched] += 0.01
+        current[key] = updated
+
+    tmp = tempfile.mkdtemp(prefix="bench-sparse-ckpt-")
+    try:
+        full_path = os.path.join(tmp, "full.npz")
+        delta_path = os.path.join(tmp, "model.delta")
+        fns = {
+            "full": {"save": lambda: save_state_checkpoint(
+                current, model.config, full_path)},
+            "delta": {"save": lambda: save_state_delta(
+                current, previous, delta_path)},
+        }
+        times = _interleaved_best_times(fns, iters, reps)
+        full_bytes = os.path.getsize(full_path)
+        delta_bytes = os.path.getsize(delta_path)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "params": sum(value.size for value in previous.values()),
+        "touched_fraction": 0.05,
+        "full_save_s": times["full"]["save"],
+        "delta_save_s": times["delta"]["save"],
+        "full_bytes": full_bytes,
+        "delta_bytes": delta_bytes,
+        "delta_bytes_ratio": delta_bytes / full_bytes,
+        "delta_save_speedup": times["full"]["save"] / times["delta"]["save"],
+    }
+
+
+def run_sparse_suite(quick: bool) -> Dict:
+    """The sparse/ternary fast-path benchmark family (``--suite sparse``)."""
+    tokens = 1024
+    iters = 3 if quick else 10
+    reps = 4 if quick else 6
+    workloads = {w[0]: _bench_sparse_kernels(w, tokens, iters, reps)
+                 for w in SPARSE_WORKLOADS}
+    return {
+        "density": SPARSE_DENSITY,
+        "bits": SPARSE_BITS,
+        "workloads": workloads,
+        "wire": _bench_sparse_wire(max(iters, 5), reps),
+        "checkpoint": _bench_sparse_checkpoint(max(iters // 2, 2), reps),
+        "note": ("workloads: batched vs sparse dispatch over *identical* "
+                 "sparsified+quantized expert weights (bit-identical outputs, "
+                 "test-enforced) — the speedup is pure zero skipping.  wire: "
+                 "composed topk+int codec frame size vs its own analytics and "
+                 "vs fp64.  checkpoint: full vs sparse-delta snapshot of the "
+                 "same model state (5% of parameters touched)."),
+        "headline_speedup": min(
+            entry["speedup_sparse_vs_batched_forward_backward"]
+            for entry in workloads.values()),
+    }
+
+
+def check_sparse_regression(current: Dict, baseline_path: str,
+                            tolerance: float) -> int:
+    """Gate the sparse-dispatch speedups against the committed baseline."""
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    committed_sparse = committed.get("sparse", {})
+    if not committed_sparse.get("workloads"):
+        print(f"[MISSING] {baseline_path} carries no sparse suite baseline; "
+              "a gated suite without a committed reference cannot pass")
+        return 1
+    current_sparse = current.get("sparse", {})
+    failures = []
+    for name, ref_entry in committed_sparse["workloads"].items():
+        for key in ("speedup_sparse_vs_batched_forward_backward",
+                    "speedup_sparse_vs_batched_round"):
+            ref = ref_entry.get(key)
+            if not ref:
+                continue
+            cur = current_sparse.get("workloads", {}).get(name, {}).get(key)
+            if not cur:
+                print(f"[MISSING] sparse/{name}/{key}: committed {ref:.2f}x "
+                      "has no current measurement")
+                failures.append((name, key, None, ref))
+                continue
+            floor = (1.0 - tolerance) * ref
+            status = "OK" if cur >= floor else "REGRESSION"
+            print(f"[{status}] sparse/{name}/{key}: current {cur:.2f}x vs "
+                  f"committed {ref:.2f}x (floor {floor:.2f}x)")
+            if cur < floor:
+                failures.append((name, key, cur, ref))
+    if failures:
+        print(f"FAILED: {len(failures)} sparse speedup(s) regressed more than "
+              f"{tolerance:.0%} (or went unmeasured) vs {baseline_path}")
+        return 1
+    print(f"All sparse speedups within {tolerance:.0%} of {baseline_path}")
     return 0
 
 
@@ -677,9 +923,10 @@ def check_telemetry_regression(current: Dict, baseline_path: str,
         committed = json.load(handle)
     ref = committed.get("telemetry", {}).get("overhead_ratio_on_vs_off")
     if not ref:
-        print(f"{baseline_path} carries no telemetry overhead baseline; "
-              "nothing to gate")
-        return 0
+        print(f"[MISSING] {baseline_path} carries no telemetry overhead "
+              "baseline; a gated suite without a committed reference cannot "
+              "pass")
+        return 1
     cur = current.get("telemetry", {}).get("overhead_ratio_on_vs_off")
     if not cur:
         print(f"[MISSING] telemetry/overhead_ratio_on_vs_off: committed "
@@ -762,13 +1009,25 @@ def check_regression(current: Dict, baseline_path: str, tolerance: float) -> int
     with open(baseline_path) as handle:
         committed = json.load(handle)
     failures = []
+    if not committed.get("presets"):
+        print(f"[MISSING] {baseline_path} carries no hotpath suite baseline; "
+              "a gated suite without a committed reference cannot pass")
+        return 1
     for preset, families in committed.get("presets", {}).items():
         for family in ("hot_loop", "end_to_end"):
             for key in ("speedup_batched_f32_vs_loop_f64",
                         "round_speedup_batched_f32_vs_loop_f64"):
                 ref = families.get(family, {}).get(key)
+                if not ref:
+                    continue
                 cur = current.get("presets", {}).get(preset, {}).get(family, {}).get(key)
-                if not ref or not cur:
+                if not cur:
+                    # A committed speedup the current run never measured is a
+                    # broken gate, not a pass — otherwise a partial run (or a
+                    # renamed preset/family) would silently stop gating.
+                    print(f"[MISSING] {preset}/{family}/{key}: committed "
+                          f"{ref:.2f}x has no current measurement")
+                    failures.append((preset, family, key, None, ref))
                     continue
                 floor = (1.0 - tolerance) * ref
                 status = "OK" if cur >= floor else "REGRESSION"
@@ -778,7 +1037,7 @@ def check_regression(current: Dict, baseline_path: str, tolerance: float) -> int
                     failures.append((preset, family, key, cur, ref))
     if failures:
         print(f"FAILED: {len(failures)} speedup(s) regressed more than "
-              f"{tolerance:.0%} vs {baseline_path}")
+              f"{tolerance:.0%} (or went unmeasured) vs {baseline_path}")
         return 1
     print(f"All speedups within {tolerance:.0%} of {baseline_path}")
     return 0
@@ -788,13 +1047,17 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="smaller token counts / fewer repetitions (CI smoke)")
-    parser.add_argument("--suite", choices=("hotpath", "aggregation", "telemetry"),
+    parser.add_argument("--suite",
+                        choices=("hotpath", "aggregation", "telemetry", "sparse"),
                         default="hotpath",
                         help="hotpath: MoE dispatch/training throughput (default); "
                              "aggregation: server-side fold throughput, serial vs "
                              "pooled, across shard counts and tree depths; "
                              "telemetry: repro.obs tracing overhead, run-level "
-                             "on-vs-off ratio plus span microbenchmarks")
+                             "on-vs-off ratio plus span microbenchmarks; "
+                             "sparse: zero-skipping dispatch vs batched on "
+                             "sparsified experts, composed sparse codec wire "
+                             "bytes, full vs delta checkpoint cost")
     parser.add_argument("--output", default=None,
                         help="where to write the results JSON (default: "
                              "BENCH_hotpath.json or BENCH_aggregation.json by suite)")
@@ -815,7 +1078,8 @@ def main(argv=None) -> int:
 
     default_output = {"hotpath": "BENCH_hotpath.json",
                       "aggregation": "BENCH_aggregation.json",
-                      "telemetry": "BENCH_telemetry.json"}[args.suite]
+                      "telemetry": "BENCH_telemetry.json",
+                      "sparse": "BENCH_sparse.json"}[args.suite]
     output = args.output or os.path.join(REPO_ROOT, default_output)
     result = {
         "meta": {
@@ -832,6 +1096,8 @@ def main(argv=None) -> int:
         result["aggregation"] = run_aggregation_suite(args.quick)
     elif args.suite == "telemetry":
         result["telemetry"] = run_telemetry_suite(args.quick)
+    elif args.suite == "sparse":
+        result["sparse"] = run_sparse_suite(args.quick)
     else:
         result["presets"] = run_suite(args.quick)
         if args.seed_src:
@@ -855,6 +1121,27 @@ def main(argv=None) -> int:
               "at 8 shards (critical path vs serial)")
         if args.check:
             return check_aggregation_regression(result, args.check, args.tolerance)
+        return 0
+    if args.suite == "sparse":
+        sparse = result["sparse"]
+        for name, entry in sparse["workloads"].items():
+            print(f"  {name} (d_model={entry['d_model']}, d_ff={entry['d_ff']}): "
+                  f"sparse vs batched fwd+bwd "
+                  f"{entry['speedup_sparse_vs_batched_forward_backward']:.2f}x, "
+                  f"round {entry['speedup_sparse_vs_batched_round']:.2f}x")
+        wire = sparse["wire"]
+        print(f"  wire {wire['codec']}: {wire['measured_frame_bytes']} B/expert "
+              f"measured vs {wire['analytic_payload_bytes']:.0f} B analytic "
+              f"({wire['measured_vs_analytic_rel_err']:.1%} off), "
+              f"{wire['bytes_ratio_vs_fp64']:.3f}x of fp64")
+        ckpt = sparse["checkpoint"]
+        print(f"  checkpoint: delta {ckpt['delta_bytes']} B vs full "
+              f"{ckpt['full_bytes']} B ({ckpt['delta_bytes_ratio']:.3f}x), "
+              f"save {ckpt['delta_save_speedup']:.2f}x faster")
+        print(f"  headline: {sparse['headline_speedup']:.2f}x minimum hot-loop "
+              f"(fwd+bwd) speedup at density {sparse['density']:g}")
+        if args.check:
+            return check_sparse_regression(result, args.check, args.tolerance)
         return 0
     if args.suite == "telemetry":
         tel = result["telemetry"]

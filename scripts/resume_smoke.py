@@ -19,6 +19,11 @@ Matrix:
   2 super-edges → root), 2 shards, and the whole fold plane behind the
   process-pool ``AggregationPool`` — the kill lands while a pool is live, so
   resume also proves no pool state is (or needs to be) durable.
+* ``delta-chain`` — snapshots every round as a sparse-delta chain
+  (``checkpoint_delta_every=4``: full at round 1, deltas after) written by
+  the background checkpoint writer (``checkpoint_async=True``); the hard
+  kill races the in-flight write, so resume must come back bit-identically
+  from whichever complete snapshot survived — the delta tip or its base.
 
 Exit status 0 on success, 1 on any mismatch.  Used by the nightly CI job,
 which also uploads the surviving checkpoint directories as an artifact::
@@ -59,6 +64,7 @@ CHECKPOINT_EVERY = 2
 KILL_AT_ROUND = 3  # after the round-2 snapshot, before the run completes
 
 #: the hard-kill/resume matrix: config-name -> RunConfig overrides
+#: (``checkpoint_every`` here overrides the matrix-wide default cadence)
 CONFIGS = {
     "sharded-edges": dict(
         num_shards=2, num_edge_aggregators=2,
@@ -68,6 +74,11 @@ CONFIGS = {
         num_shards=2, edge_tiers=(2, 2),
         aggregation="trimmed_mean", trim_ratio=0.2,
         aggregation_executor="process", aggregation_workers=2,
+    ),
+    "delta-chain": dict(
+        num_shards=2, num_edge_aggregators=2,
+        aggregation="trimmed_mean", trim_ratio=0.2,
+        checkpoint_every=1, checkpoint_delta_every=4, checkpoint_async=True,
     ),
 }
 
@@ -85,14 +96,16 @@ def build_tuner(name: str, checkpoint_dir: str | None = None,
                     seed=3 + pid)
         for pid, shard in enumerate(shards)
     ]
+    overrides = dict(CONFIGS[name])
+    checkpoint_every = overrides.pop("checkpoint_every", CHECKPOINT_EVERY)
     run_config = RunConfig(
         batch_size=8, max_local_batches=1, eval_max_samples=16, seed=3,
         participants_per_round=4,
-        checkpoint_every=CHECKPOINT_EVERY if checkpoint_dir else 0,
+        checkpoint_every=checkpoint_every if checkpoint_dir else 0,
         checkpoint_dir=checkpoint_dir,
         telemetry=trace_dir is not None,
         telemetry_dir=trace_dir,
-        **CONFIGS[name],
+        **overrides,
     )
     server = ParameterServer(MoETransformer(config))
 
@@ -155,8 +168,9 @@ def run_config_smoke(name: str, workdir: str,
     reference_tuner = build_tuner(name)
     reference = reference_tuner.run(num_rounds=NUM_ROUNDS)
 
+    cadence = CONFIGS[name].get("checkpoint_every", CHECKPOINT_EVERY)
     print(f"[2/3] kill: subprocess dies mid round {KILL_AT_ROUND} "
-          f"(snapshots every {CHECKPOINT_EVERY} rounds)", flush=True)
+          f"(snapshots every {cadence} round(s))", flush=True)
     child_argv = [sys.executable, os.path.abspath(__file__),
                   "--workdir", workdir, "--phase", "killed-child",
                   "--config", name]

@@ -16,7 +16,9 @@ from .codecs import (
     CastCodec,
     Codec,
     GroupQuantCodec,
+    SparseDeltaCodec,
     TopKDeltaCodec,
+    TopKQuantCodec,
     available_codecs,
     get_codec,
     register_codec,
@@ -36,7 +38,9 @@ __all__ = [
     "Codec",
     "CastCodec",
     "GroupQuantCodec",
+    "SparseDeltaCodec",
     "TopKDeltaCodec",
+    "TopKQuantCodec",
     "register_codec",
     "get_codec",
     "available_codecs",

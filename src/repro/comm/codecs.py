@@ -23,12 +23,44 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..quantization import pack_int_codes, quantize_array, unpack_int_codes
+from ..quantization import PACKABLE_BITS, pack_int_codes, quantize_array, unpack_int_codes
 
 #: section dtypes are fixed little-endian so frames are portable
 _SCALE_DTYPE = "<f4"
 _INDEX_DTYPE = "<u4"
+_NARROW_INDEX_DTYPE = "<u2"
 _VALUE_DTYPE = "<f8"
+
+#: largest flattened tensor whose sparse indices fit the narrow u2 width
+_NARROW_INDEX_MAX = np.iinfo(np.uint16).max
+
+
+def _index_dtype_for(size: int) -> np.dtype:
+    """Narrowest index dtype that addresses a ``size``-element flat tensor."""
+    return np.dtype(_NARROW_INDEX_DTYPE if size <= _NARROW_INDEX_MAX
+                    else _INDEX_DTYPE)
+
+
+def _decode_sparse_indices(section: bytes, count: int, size: int) -> np.ndarray:
+    """Read ``count`` sparse indices, accepting both u2 and u4 widths.
+
+    The preferred width is the one :func:`_index_dtype_for` picks for
+    ``size`` — but frames written before the narrow width existed carry u4
+    indices on small tensors, so whichever width is consistent with the
+    section length is accepted.
+    """
+    if count == 0:
+        if section:
+            raise PayloadCorruptedError("sparse index section should be empty")
+        return np.empty(0, dtype=np.int64)
+    for dtype in (_index_dtype_for(size), np.dtype(_INDEX_DTYPE),
+                  np.dtype(_NARROW_INDEX_DTYPE)):
+        if len(section) == count * dtype.itemsize:
+            indices = np.frombuffer(section, dtype=dtype)
+            if int(indices.max()) >= size:
+                raise PayloadCorruptedError("sparse index outside the declared tensor")
+            return indices.astype(np.int64)
+    raise PayloadCorruptedError("sparse index section length matches no index width")
 
 
 class PayloadCorruptedError(ValueError):
@@ -190,22 +222,35 @@ class TopKDeltaCodec(Codec):
         self.density = density
         self.name = "topk" if density == 0.1 else f"topk:{density:g}"
 
+    def _select(self, array: np.ndarray,
+                reference: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Top-k nonzero deltas vs the reference: (indices, values, flat size).
+
+        Exact zeros are dropped from the selection — they carry no information
+        (adding zero is a no-op), so an all-zero delta encodes to empty
+        sections instead of shipping ``k`` zeros.
+        """
+        delta = (np.asarray(array, dtype=np.float64)
+                 - np.asarray(reference, dtype=np.float64))
+        flat = delta.reshape(-1)
+        if flat.size == 0:
+            return np.empty(0, dtype=np.int64), flat, 0
+        k = max(1, int(math.ceil(self.density * flat.size)))
+        if k >= flat.size:
+            indices = np.arange(flat.size, dtype=np.int64)
+        else:
+            indices = np.sort(np.argpartition(np.abs(flat), -k)[-k:])
+        values = flat[indices]
+        nonzero = values != 0.0
+        return indices[nonzero], values[nonzero], flat.size
+
     def encode_array(self, array: np.ndarray,
                      reference: Optional[np.ndarray] = None) -> List[bytes]:
         array = np.asarray(array)
         reference = _check_reference(array.shape, reference)
-        delta = np.asarray(array, dtype=np.float64) - np.asarray(reference, dtype=np.float64)
-        flat = delta.reshape(-1)
-        if flat.size == 0:
-            return [b"", b""]
-        k = max(1, int(math.ceil(self.density * flat.size)))
-        if k >= flat.size:
-            indices = np.arange(flat.size, dtype=np.uint32)
-        else:
-            indices = np.sort(np.argpartition(np.abs(flat), -k)[-k:]).astype(np.uint32)
-        values = flat[indices]
+        indices, values, size = self._select(array, reference)
         return [
-            np.ascontiguousarray(indices, dtype=_INDEX_DTYPE).tobytes(),
+            np.ascontiguousarray(indices, dtype=_index_dtype_for(size)).tobytes(),
             np.ascontiguousarray(values, dtype=_VALUE_DTYPE).tobytes(),
         ]
 
@@ -215,19 +260,160 @@ class TopKDeltaCodec(Codec):
         reference = _check_reference(shape, reference)
         if len(sections) != 2:
             raise PayloadCorruptedError("top-k codec expects index + value sections")
-        indices = np.frombuffer(sections[0], dtype=_INDEX_DTYPE)
+        value_width = np.dtype(_VALUE_DTYPE).itemsize
+        if len(sections[1]) % value_width:
+            raise PayloadCorruptedError("top-k value section is not whole values")
         values = np.frombuffer(sections[1], dtype=_VALUE_DTYPE)
-        if indices.size != values.size:
-            raise PayloadCorruptedError("top-k index and value sections disagree in length")
         out = np.asarray(reference, dtype=np.float64).copy().reshape(-1)
-        if indices.size and int(indices.max()) >= out.size:
-            raise PayloadCorruptedError("top-k index outside the declared tensor")
+        indices = _decode_sparse_indices(sections[0], values.size, out.size)
         out[indices] += values
         return out.reshape(shape).astype(dtype)
 
     def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
+        # conservative wide-index estimate: small tensors ship u2 indices and
+        # come in under this, which keeps the analytic plan an upper bound
         per_entry = np.dtype(_INDEX_DTYPE).itemsize + np.dtype(_VALUE_DTYPE).itemsize
         return self.density * per_entry
+
+
+class TopKQuantCodec(TopKDeltaCodec):
+    """Composed sparsify + quantize: top-k deltas shipped as packed ints.
+
+    ``topk:<density>:int<bits>`` keeps the top-k selection of
+    :class:`TopKDeltaCodec` but bit-packs the surviving values with the same
+    :func:`repro.quantization.pack_int_codes` machinery the ``int<bits>``
+    codecs use (one float32 scale for the whole selected-value vector) instead
+    of shipping raw ``<f8``.  Per selected entry the wire cost drops from
+    12 bytes to ``index + bits/8`` — e.g. 2.5 bytes at int4 on u2-indexed
+    tensors.  Reconstruction error adds half a quantization step on the kept
+    deltas to the dropped-delta mass.
+    """
+
+    needs_reference = True
+
+    def __init__(self, density: float, bits: int) -> None:
+        super().__init__(density=density)
+        if bits not in PACKABLE_BITS:
+            raise ValueError(
+                f"topk-quantized codecs support {PACKABLE_BITS} bit codes")
+        self.bits = bits
+        self.name = f"topk:{density:g}:int{bits}"
+
+    def encode_array(self, array: np.ndarray,
+                     reference: Optional[np.ndarray] = None) -> List[bytes]:
+        array = np.asarray(array)
+        reference = _check_reference(array.shape, reference)
+        indices, values, size = self._select(array, reference)
+        if values.size == 0:
+            return [b"", b"", b""]
+        quantized = quantize_array(values, self.bits)
+        return [
+            np.ascontiguousarray(indices, dtype=_index_dtype_for(size)).tobytes(),
+            pack_int_codes(quantized.codes, self.bits),
+            np.ascontiguousarray(quantized.scales, dtype=_SCALE_DTYPE).tobytes(),
+        ]
+
+    def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
+                     dtype: np.dtype,
+                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+        reference = _check_reference(shape, reference)
+        if len(sections) != 3:
+            raise PayloadCorruptedError(
+                "topk-quantized codec expects index + code + scale sections")
+        index_section, code_section, scale_section = sections
+        out = np.asarray(reference, dtype=np.float64).copy().reshape(-1)
+        if not index_section and not code_section and not scale_section:
+            return out.reshape(shape).astype(dtype)
+        scales = np.frombuffer(scale_section, dtype=_SCALE_DTYPE).astype(np.float64)
+        if scales.size != 1:
+            raise PayloadCorruptedError(
+                "topk-quantized codec expects exactly one scale")
+        # the index width determines k: try the width the encoder would pick
+        # for this tensor first, then the other, cross-checked against the
+        # packed-code section length
+        k = None
+        preferred = _index_dtype_for(out.size).itemsize
+        for width in (preferred, 6 - preferred):  # the other of {2, 4}
+            candidate, remainder = divmod(len(index_section), width)
+            if remainder == 0 and len(code_section) == -(-candidate * self.bits // 8):
+                k = candidate
+                break
+        if k is None or k == 0:
+            raise PayloadCorruptedError(
+                "topk-quantized index and code sections disagree in length")
+        indices = _decode_sparse_indices(index_section, k, out.size)
+        try:
+            codes = unpack_int_codes(code_section, self.bits, k)
+        except ValueError as exc:
+            raise PayloadCorruptedError(str(exc)) from exc
+        out[indices] += codes * scales[0]
+        return out.reshape(shape).astype(dtype)
+
+    def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
+        """Analytic bytes/param: u2 indices + packed codes (+ the scale).
+
+        Indexes are priced at the narrow u2 width every preset tensor
+        (<= 65535 elements) actually uses; ``group_size`` — params sharing one
+        scale, i.e. the flattened tensor size for this one-scale-per-tensor
+        codec — adds the float32 scale when given.
+        """
+        per_entry = np.dtype(_NARROW_INDEX_DTYPE).itemsize + self.bits / 8.0
+        per_param = self.density * per_entry
+        if group_size is not None:
+            if group_size <= 0:
+                raise ValueError("group_size must be positive")
+            per_param += np.dtype(_SCALE_DTYPE).itemsize / float(group_size)
+        return per_param
+
+
+class SparseDeltaCodec(Codec):
+    """Exact sparse delta vs a reference: changed entries shipped verbatim.
+
+    Unlike :class:`TopKDeltaCodec` (lossy: top-k *differences* added back)
+    this ships the indices of every entry where the tensor differs from the
+    reference together with the raw new ``<f8`` values, and decode *assigns*
+    rather than adds — so the round trip is bit-exact for float64 and float32
+    sources regardless of how sparse the change set is.  Used by delta model
+    checkpoints, where the previous snapshot is the reference and only the
+    experts touched since then moved.
+    """
+
+    name = "sparse-delta"
+    exact = True
+    needs_reference = True
+
+    def encode_array(self, array: np.ndarray,
+                     reference: Optional[np.ndarray] = None) -> List[bytes]:
+        array = np.asarray(array)
+        reference = _check_reference(array.shape, reference)
+        flat = np.asarray(array, dtype=np.float64).reshape(-1)
+        ref_flat = np.asarray(reference, dtype=np.float64).reshape(-1)
+        indices = np.flatnonzero(flat != ref_flat)
+        return [
+            np.ascontiguousarray(indices, dtype=_index_dtype_for(flat.size)).tobytes(),
+            np.ascontiguousarray(flat[indices], dtype=_VALUE_DTYPE).tobytes(),
+        ]
+
+    def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
+                     dtype: np.dtype,
+                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+        reference = _check_reference(shape, reference)
+        if len(sections) != 2:
+            raise PayloadCorruptedError(
+                "sparse-delta codec expects index + value sections")
+        value_width = np.dtype(_VALUE_DTYPE).itemsize
+        if len(sections[1]) % value_width:
+            raise PayloadCorruptedError("sparse-delta value section is not whole values")
+        values = np.frombuffer(sections[1], dtype=_VALUE_DTYPE)
+        out = np.asarray(reference, dtype=np.float64).copy().reshape(-1)
+        indices = _decode_sparse_indices(sections[0], values.size, out.size)
+        out[indices] = values
+        return out.reshape(shape).astype(dtype)
+
+    def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
+        # worst case (every entry changed): index + raw value per param
+        return float(np.dtype(_NARROW_INDEX_DTYPE).itemsize
+                     + np.dtype(_VALUE_DTYPE).itemsize)
 
 
 # --------------------------------------------------------------------- registry
@@ -245,16 +431,27 @@ def available_codecs() -> List[str]:
 
 
 def get_codec(name: str) -> Codec:
-    """Look up a codec by tag; ``"topk:<density>"`` builds a parameterised one."""
+    """Look up a codec by tag.
+
+    ``"topk:<density>"`` builds a parameterised sparsifier inline and
+    ``"topk:<density>:int<bits>"`` the composed sparsify+quantize codec.
+    """
     codec = _REGISTRY.get(name)
     if codec is not None:
         return codec
     if name.startswith("topk:"):
+        parts = name.split(":")
         try:
-            density = float(name.split(":", 1)[1])
+            density = float(parts[1])
+            bits = (int(parts[2][3:])
+                    if len(parts) == 3 and parts[2].startswith("int") else None)
         except ValueError:
             raise KeyError(f"malformed topk codec tag {name!r}") from None
-        return register_codec(TopKDeltaCodec(density=density))
+        if len(parts) == 2:
+            return register_codec(TopKDeltaCodec(density=density))
+        if len(parts) == 3 and bits is not None:
+            return register_codec(TopKQuantCodec(density=density, bits=bits))
+        raise KeyError(f"malformed topk codec tag {name!r}")
     raise KeyError(f"unknown codec {name!r}; available: {available_codecs()}")
 
 
@@ -265,3 +462,4 @@ register_codec(GroupQuantCodec(bits=8))
 register_codec(GroupQuantCodec(bits=4))
 register_codec(GroupQuantCodec(bits=2))
 register_codec(TopKDeltaCodec(density=0.1))
+register_codec(SparseDeltaCodec())

@@ -34,16 +34,60 @@ def save_checkpoint(model: MoETransformer, path: Union[str, "os.PathLike[str]"])
     never disagree (including for ``os.PathLike`` inputs and suffixes that
     merely *contain* ``.npz``, e.g. ``model.npz.bak``).
     """
+    return save_state_checkpoint(model.state_dict(), model.config, path)
+
+
+def save_state_checkpoint(state: Dict[str, np.ndarray], config: MoEModelConfig,
+                          path: Union[str, "os.PathLike[str]"]) -> str:
+    """:func:`save_checkpoint` from an already-captured ``(state, config)``.
+
+    Lets a background checkpoint writer persist a snapshot captured earlier on
+    the round loop without touching the (by then possibly mutated) live model.
+    """
     target = os.fspath(path)
     if not target.endswith(".npz"):
         target += ".npz"
     directory = os.path.dirname(os.path.abspath(target))
     if directory:
         os.makedirs(directory, exist_ok=True)
-    state = model.state_dict()
-    config_json = json.dumps(asdict(model.config))
+    config_json = json.dumps(asdict(config))
     np.savez(target, **state, **{_CONFIG_KEY: np.array(config_json)})
     return target
+
+
+def save_state_delta(state: Dict[str, np.ndarray],
+                     reference: Dict[str, np.ndarray],
+                     path: Union[str, "os.PathLike[str]"]) -> str:
+    """Write ``state`` as an exact sparse delta against ``reference``.
+
+    The payload is one CRC-framed :func:`repro.comm.encode_state_dict` frame
+    under the ``sparse-delta`` codec: per tensor, the indices of the entries
+    that differ from the reference plus their raw new values — bit-exact to
+    reconstruct, and tiny when only a few experts moved between snapshots.
+    Written through a temp file + atomic rename.
+    """
+    from ..comm import encode_state_dict, get_codec  # deferred: package cycle
+
+    frame = encode_state_dict(state, get_codec("sparse-delta"), reference=reference)
+    target = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(target))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tmp = target + ".tmp"
+    with open(tmp, "wb") as handle:
+        handle.write(frame)
+    os.replace(tmp, target)
+    return target
+
+
+def load_state_delta(path: str,
+                     reference: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Inverse of :func:`save_state_delta`: reconstruct the full state dict."""
+    from ..comm import decode_state_dict  # deferred: package cycle
+
+    with open(path, "rb") as handle:
+        frame = handle.read()
+    return decode_state_dict(frame, reference=reference)
 
 
 def load_checkpoint(path: str) -> MoETransformer:

@@ -27,6 +27,20 @@ O(num_experts), and no per-expert full-size temporaries are created.
 ``expand_rows`` are the composable building blocks of this layout, kept as
 public autograd ops.)
 
+``dispatch="sparse"`` is the zero-skipping variant of the batched path for
+ternary/low-bit-quantized experts: after structured sparsification
+(:func:`~repro.models.experts.sparsify_expert` zeroes whole ``d_ff`` channels,
+and per-row quantization preserves those zeros exactly), each forward derives
+the per-expert *live-channel* index lists and stacks only those rows into the
+grouped-GEMM operands, so the whole SwiGLU chain runs at the live width
+instead of ``d_ff``.  Skipped channels have both their gate and up rows
+all-zero, which makes their output contribution and every parameter gradient
+exactly zero in the dense path — so skipping them is equivalence-preserving,
+and the test suite enforces sparse == batched to the same tolerance as
+batched == loop.  When the mean live density exceeds
+:data:`SPARSE_DENSITY_THRESHOLD` the layer falls back to the dense stacking
+(the compaction would cost more than it saves).
+
 ``dispatch="loop"`` keeps the legacy per-expert Python loop (one gather, FFN
 call and ``scatter_rows`` per expert).  Both paths are numerically equivalent
 — bit-identical combine ordering by construction — and the equivalence is
@@ -41,12 +55,16 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from ..autograd import Module, ModuleList, Tensor, is_grad_enabled, scatter_rows
-from .experts import ExpertFFN, stack_expert_weights
+from .experts import ExpertFFN, sparsify_expert, stack_expert_weights
 from .gating import GatingNetwork, RoutingRecord
 from .rerouting import ExpertRemap
 
 #: dispatch strategies understood by :class:`MoELayer`
-DISPATCH_MODES = ("batched", "loop")
+DISPATCH_MODES = ("batched", "sparse", "loop")
+
+#: mean live-channel density above which ``dispatch="sparse"`` falls back to
+#: the dense batched stacking (compaction overhead would outweigh the savings)
+SPARSE_DENSITY_THRESHOLD = 0.5
 
 #: activations the batched dispatch path can evaluate on stacked tensors
 _BATCHABLE_ACTIVATIONS = ("silu", "gelu", "relu")
@@ -76,7 +94,7 @@ class MoELayer(Module):
         self.num_original_experts = num_experts
         self.top_k = top_k
         self.activation = activation
-        #: expert execution strategy, ``"batched"`` or ``"loop"``
+        #: expert execution strategy: ``"batched"``, ``"sparse"`` or ``"loop"``
         self.dispatch = dispatch
         self.gate = GatingNetwork(d_model, num_experts, top_k, noise_std=gate_noise_std, rng=rng)
         self.experts = ModuleList([
@@ -159,8 +177,9 @@ class MoELayer(Module):
         else:
             local_idx = self.remap.apply(top_idx)
 
-        if self.dispatch == "batched" and self._can_batch():
-            combined = self._combine_batched(flat, local_idx, top_weights, num_tokens, d_model)
+        if self.dispatch in ("batched", "sparse") and self._can_batch():
+            combined = self._combine_batched(flat, local_idx, top_weights, num_tokens, d_model,
+                                             sparse=self.dispatch == "sparse")
         else:
             combined = self._combine_loop(flat, local_idx, top_weights, num_tokens, d_model)
 
@@ -203,8 +222,42 @@ class MoELayer(Module):
             combined = combined + scatter_rows(weighted, token_rows, num_tokens)
         return combined
 
+    def sparsify_experts(self, density: float, bits: Optional[int] = None) -> float:
+        """Structured-sparsify (and optionally fake-quantize) every local expert.
+
+        Applies :func:`~repro.models.experts.sparsify_expert` to each expert
+        in place; the surviving channels are exactly the rows the
+        ``dispatch="sparse"`` fast path will execute.  Returns the realised
+        mean live-channel density.
+        """
+        live = 0
+        for expert in self.experts:
+            live += sparsify_expert(expert, density, bits=bits).size
+        return live / max(1, len(self.experts) * self.d_ff)
+
+    def _sparse_plan(self, gate_params, up_params):
+        """Per-expert live ``d_ff`` channels, or None when too dense to pay off.
+
+        A channel is *live* when its gate row or up row holds any nonzero —
+        the exact complement of the channels whose forward contribution and
+        parameter gradients are all exactly zero in the dense path (both rows
+        zero forces the activation input, the up projection, and therefore
+        every downstream product to exact zeros).
+        """
+        channels = []
+        live_total = 0
+        for gate, up in zip(gate_params, up_params):
+            live = np.flatnonzero((gate.data != 0.0).any(axis=1)
+                                  | (up.data != 0.0).any(axis=1))
+            channels.append(live)
+            live_total += live.size
+        d_ff = gate_params[0].data.shape[0]
+        if live_total > SPARSE_DENSITY_THRESHOLD * len(channels) * d_ff:
+            return None
+        return channels, max(1, max(live.size for live in channels))
+
     def _combine_batched(self, flat: Tensor, local_idx: np.ndarray, top_weights: Tensor,
-                         num_tokens: int, d_model: int) -> Tensor:
+                         num_tokens: int, d_model: int, sparse: bool = False) -> Tensor:
         """Grouped dispatch: sort assignments by slot, run one batched GEMM chain.
 
         Only the experts that actually received tokens are stacked, so
@@ -213,6 +266,11 @@ class MoELayer(Module):
         gather/scatter uses unique indices (plain fancy indexing, no
         ``np.add.at``), and the top-k combine is a reshape + sum — the whole
         layer forward/backward is O(1) autograd nodes and C-speed throughout.
+
+        With ``sparse=True`` the stacked operands are *compacted* to each
+        expert's live ``d_ff`` channels (padded to the widest live count), so
+        the three grouped GEMMs run at the live width; gradients for the
+        skipped channels are emitted as exact zeros, matching the dense path.
         """
         top_k = local_idx.shape[1]
         num_assign = local_idx.size
@@ -244,17 +302,35 @@ class MoELayer(Module):
         gate_params = [e.w_gate.weight for e in experts]
         up_params = [e.w_up.weight for e in experts]
         down_params = [e.w_down.weight for e in experts]
-        # Stacked (E_a, d_model, *) operand views of the expert weights; gate
-        # and up projections are concatenated along d_ff so the input side of
-        # the SwiGLU runs as ONE grouped GEMM instead of two.
-        w_gateup_t = np.concatenate(
-            [np.stack([p.data for p in gate_params]),
-             np.stack([p.data for p in up_params])], axis=1).swapaxes(1, 2)  # (E_a, d, 2f)
+        dtype = flat.data.dtype
+        channels = None
+        if sparse:
+            plan = self._sparse_plan(gate_params, up_params)
+            if plan is not None:
+                channels, live_width = plan
+        if channels is not None:
+            # Compacted stacks: only each expert's live channels (zero-padded
+            # to the widest live count) enter the grouped GEMMs, so the whole
+            # SwiGLU chain runs at the live width instead of d_ff.
+            d_ff = live_width
+            w_gateup_sw = np.zeros((num_active, 2 * d_ff, d_model), dtype=dtype)
+            w_down_sw = np.zeros((num_active, d_model, d_ff), dtype=dtype)
+            for j, live in enumerate(channels):
+                w_gateup_sw[j, :live.size] = gate_params[j].data[live]
+                w_gateup_sw[j, d_ff:d_ff + live.size] = up_params[j].data[live]
+                w_down_sw[j, :, :live.size] = down_params[j].data[:, live]
+            w_gateup_t = w_gateup_sw.swapaxes(1, 2)                  # (E_a, d, 2f_live)
+            w_down_t = w_down_sw.swapaxes(1, 2)                      # (E_a, f_live, d)
+        else:
+            # Stacked (E_a, d_model, *) operand views of the expert weights;
+            # gate and up projections are concatenated along d_ff so the input
+            # side of the SwiGLU runs as ONE grouped GEMM instead of two.
+            w_gateup_t = np.concatenate(
+                [np.stack([p.data for p in gate_params]),
+                 np.stack([p.data for p in up_params])], axis=1).swapaxes(1, 2)  # (E_a, d, 2f)
+            w_down_t = np.stack([p.data for p in down_params]).swapaxes(1, 2)
         w_gate_t = w_gateup_t[:, :, :d_ff]
         w_up_t = w_gateup_t[:, :, d_ff:]
-        w_down_t = np.stack([p.data for p in down_params]).swapaxes(1, 2)
-
-        dtype = flat.data.dtype
         padded_rows = num_active * max_count
 
         # ---- fused forward: pad → grouped SwiGLU GEMMs → gather → combine
@@ -334,8 +410,16 @@ class MoELayer(Module):
                 g_w = self._scratch("g_w_down", (num_active, ffn_shape[2], d_model), dtype)
                 np.matmul(np.swapaxes(hidden, 1, 2), g_pad3, out=g_w)
                 g_w_down = np.swapaxes(g_w, 1, 2)
-                for param, grad in zip(down_params, g_w_down):
-                    param._accumulate(grad)
+                if channels is not None:
+                    # scatter the compact gradient into the live columns; the
+                    # dense path's gradient is exactly zero everywhere else
+                    for param, grad, live in zip(down_params, g_w_down, channels):
+                        full = np.zeros(param.data.shape, dtype=dtype)
+                        full[:, live] = grad[:, :live.size]
+                        param._accumulate(full, owned=True)
+                else:
+                    for param, grad in zip(down_params, g_w_down):
+                        param._accumulate(grad)
 
             # [g_gate_pre | g_up] share one contiguous buffer so the weight
             # gradients of both projections come from a single grouped GEMM.
@@ -367,9 +451,18 @@ class MoELayer(Module):
                 g_w = self._scratch("g_w_gateup", (num_active, d_model, 2 * d_ff), dtype)
                 np.matmul(np.swapaxes(padded3_b, 1, 2), g_gateup, out=g_w)
                 g_w_sw = np.swapaxes(g_w, 1, 2)                             # (E_a, 2f, d)
-                for j in range(num_active):
-                    gate_params[j]._accumulate(g_w_sw[j, :d_ff])
-                    up_params[j]._accumulate(g_w_sw[j, d_ff:])
+                if channels is not None:
+                    for j, live in enumerate(channels):
+                        g_full = np.zeros(gate_params[j].data.shape, dtype=dtype)
+                        g_full[live] = g_w_sw[j, :live.size]
+                        gate_params[j]._accumulate(g_full, owned=True)
+                        u_full = np.zeros(up_params[j].data.shape, dtype=dtype)
+                        u_full[live] = g_w_sw[j, d_ff:d_ff + live.size]
+                        up_params[j]._accumulate(u_full, owned=True)
+                else:
+                    for j in range(num_active):
+                        gate_params[j]._accumulate(g_w_sw[j, :d_ff])
+                        up_params[j]._accumulate(g_w_sw[j, d_ff:])
             if flat.requires_grad:
                 # Two GEMMs (not one over the concatenated 2f axis): keeping
                 # the gate/up contributions as separate dot products + add

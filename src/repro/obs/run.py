@@ -59,7 +59,9 @@ class NullTelemetry:
     def end_round(self, round_result, codec: Optional[str] = None) -> None:  # noqa: ARG002
         pass
 
-    def record_checkpoint(self, path: str, duration_s: float) -> None:  # noqa: ARG002
+    def record_checkpoint(self, path: str, duration_s: float,
+                          mode: str = "full",
+                          write: str = "foreground") -> None:  # noqa: ARG002
         pass
 
     def finish(self) -> None:
@@ -67,6 +69,23 @@ class NullTelemetry:
 
 
 NULL_TELEMETRY = NullTelemetry()
+
+
+def _tree_size(path: str) -> int:
+    """Total bytes under ``path`` (a snapshot directory) or of a plain file."""
+    try:
+        if not os.path.isdir(path):
+            return os.path.getsize(path)
+        total = 0
+        for root, _, files in os.walk(path):
+            for name in files:
+                try:
+                    total += os.path.getsize(os.path.join(root, name))
+                except OSError:
+                    pass
+        return total
+    except OSError:
+        return 0
 
 
 class RunTelemetry:
@@ -167,13 +186,19 @@ class RunTelemetry:
                 "registry": reg.snapshot(),
             })
 
-    def record_checkpoint(self, path: str, duration_s: float) -> None:
-        try:
-            size = os.path.getsize(path)
-        except OSError:
-            size = 0
-        self.registry.counter("repro_checkpoint_bytes_total").inc(size)
+    def record_checkpoint(self, path: str, duration_s: float,
+                          mode: str = "full", write: str = "foreground") -> None:
+        """Account one snapshot write.
+
+        ``mode`` ("full" | "delta") and ``write`` ("foreground" |
+        "background") label the byte/latency series so reports can show how
+        much the delta encoding saved and what still blocked the round loop.
+        """
+        size = _tree_size(path)
+        self.registry.counter("repro_checkpoint_bytes_total", mode=mode).inc(size)
         self.registry.gauge("repro_checkpoint_last_bytes").set(size)
+        self.registry.counter("repro_checkpoints_total",
+                              mode=mode, write=write).inc()
         self.registry.histogram("repro_checkpoint_seconds").observe(duration_s)
 
     # ----------------------------------------------------------- pickling

@@ -11,12 +11,15 @@ Select a policy via :attr:`RunConfig.scheduler` (``"sync"`` | ``"semisync"`` |
 """
 
 from .checkpoint import (
+    CheckpointRecord,
     RunCheckpointer,
+    capture_run_checkpoint,
     latest_checkpoint,
     load_run_checkpoint,
     prune_checkpoints,
     restore_run_state,
     save_run_checkpoint,
+    write_run_checkpoint,
 )
 from .events import Event, EventQueue
 from .executor import (
@@ -51,12 +54,15 @@ from .scheduler import (
 )
 
 __all__ = [
+    "CheckpointRecord",
     "RunCheckpointer",
+    "capture_run_checkpoint",
     "latest_checkpoint",
     "load_run_checkpoint",
     "prune_checkpoints",
     "restore_run_state",
     "save_run_checkpoint",
+    "write_run_checkpoint",
     "Event",
     "EventQueue",
     "ClientSampler",

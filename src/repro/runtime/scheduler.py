@@ -34,7 +34,6 @@ per-(round, participant) fault RNGs, so identical configs replay identical
 from __future__ import annotations
 
 import abc
-import time
 from dataclasses import dataclass, field as dataclasses_field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -137,18 +136,31 @@ class Scheduler(abc.ABC):
                         )
                         telemetry.end_round(round_result, codec=wire_codec)
                         if checkpointer is not None and checkpointer.due(len(rounds)):
-                            save_start = time.perf_counter()
+                            # In background mode save() only captures; the
+                            # write lands off the round loop and its record
+                            # (mode/duration) is drained on a later round or
+                            # at finish() below.
                             with tracer.span("checkpoint", category="checkpoint",
                                              round=round_result.round_index,
                                              rounds_completed=len(rounds)):
-                                path = checkpointer.save(tuner, self, tracker,
-                                                         run_timeline, rounds)
-                            telemetry.record_checkpoint(
-                                path, time.perf_counter() - save_start)
+                                checkpointer.save(tuner, self, tracker,
+                                                  run_timeline, rounds)
+                            for record in checkpointer.drain_records():
+                                telemetry.record_checkpoint(
+                                    record.path, record.duration_s,
+                                    mode=record.mode, write=record.write)
                         if stop_at_target and round_result.metric_value >= goal:
                             break
         finally:
-            self.executor.close()
+            try:
+                if checkpointer is not None:
+                    checkpointer.finish()
+                    for record in checkpointer.drain_records():
+                        telemetry.record_checkpoint(
+                            record.path, record.duration_s,
+                            mode=record.mode, write=record.write)
+            finally:
+                self.executor.close()
         return RunResult(method=tuner.name, tracker=tracker, timeline=run_timeline,
                          rounds=rounds)
 

@@ -81,7 +81,7 @@ class TestPacking:
 
 class TestCodecRoundTrips:
     def test_registry_lists_expected_codecs(self):
-        for name in ("fp64", "fp32", "fp16", "int8", "int4", "topk"):
+        for name in ("fp64", "fp32", "fp16", "int8", "int4", "topk", "sparse-delta"):
             assert name in available_codecs()
         with pytest.raises(KeyError):
             get_codec("zstd")
@@ -192,6 +192,174 @@ class TestCodecRoundTrips:
         assert get_codec("int8").wire_bytes_per_param(group_size=16) == pytest.approx(1.25)
         assert get_codec("int4").wire_bytes_per_param(group_size=32) == pytest.approx(0.625)
         assert get_codec("topk:0.5").wire_bytes_per_param() == pytest.approx(6.0)
+
+
+class TestSparseCodecs:
+    """The composed ``topk:<density>:int<bits>`` codec and ``sparse-delta``."""
+
+    def test_composed_tag_grammar(self):
+        codec = get_codec("topk:0.25:int4")
+        assert codec.name == "topk:0.25:int4"
+        assert codec.needs_reference and not codec.exact
+        for malformed in ("topk:0.25:intx", "topk:0.25:in4", "topk:lots:int4"):
+            with pytest.raises(KeyError):
+                get_codec(malformed)
+        with pytest.raises(ValueError):
+            get_codec("topk:0.25:int3")  # unpackable bit width
+        with pytest.raises(ValueError):
+            get_codec("topk:0:int4")  # density outside (0, 1]
+
+    def test_composed_full_density_error_bounded_by_quant_step(self, update, state):
+        """At density 1 the only error left is the int8 half-step on deltas."""
+        rng = np.random.default_rng(6)
+        reference = {k: v + rng.normal(scale=0.05, size=v.shape)
+                     for k, v in state.items()}
+        codec = get_codec("topk:1:int8")
+        decoded = decode_update(encode_update(update, codec, reference=reference),
+                                reference=reference)
+        for key, value in state.items():
+            delta = value - reference[key]
+            step = np.abs(delta).max() / (2 ** 7 - 1)
+            assert np.abs(decoded.state[key] - value).max() <= step / 2 + 1e-9
+
+    def test_composed_frames_smaller_than_raw_topk(self, update, state):
+        """Packing the kept values shrinks the frame vs raw <f8 top-k."""
+        rng = np.random.default_rng(7)
+        reference = {k: v + rng.normal(scale=0.05, size=v.shape)
+                     for k, v in state.items()}
+        raw = len(encode_update(update, get_codec("topk:0.25"), reference=reference))
+        packed = len(encode_update(update, get_codec("topk:0.25:int4"),
+                                   reference=reference))
+        assert packed < raw
+
+    @pytest.mark.parametrize("name", ["topk:0.5", "topk:0.5:int4"])
+    def test_all_zero_delta_ships_empty_sections(self, name):
+        """A tensor equal to its reference encodes to empty sections."""
+        codec = get_codec(name)
+        array = np.arange(12.0).reshape(3, 4)
+        sections = codec.encode_array(array, reference=array)
+        assert all(section == b"" for section in sections)
+        decoded = codec.decode_array(sections, array.shape, array.dtype,
+                                     reference=array)
+        assert np.array_equal(decoded, array)
+
+    @pytest.mark.parametrize("name", ["topk:0.1", "topk:0.1:int8"])
+    def test_one_element_tensor_density_rounding(self, name):
+        """k = max(1, ceil(density*size)): a 1-element tensor still ships."""
+        codec = get_codec(name)
+        array, reference = np.array([2.5]), np.array([1.0])
+        sections = codec.encode_array(array, reference=reference)
+        assert len(sections[0]) > 0  # one index survived the rounding
+        decoded = codec.decode_array(sections, array.shape, array.dtype,
+                                     reference=reference)
+        assert np.allclose(decoded, array, atol=1e-6)
+
+    def test_adaptive_index_width(self):
+        """Small tensors ship <u2 sparse indices, large tensors <u4."""
+        small = np.zeros(100)
+        small_changed = small.copy()
+        small_changed[[3, 97]] = 1.0
+        large = np.zeros(70_000)  # > 65535: u2 cannot address it
+        large_changed = large.copy()
+        large_changed[[5, 69_999]] = 1.0
+        codec = get_codec("sparse-delta")
+        small_sections = codec.encode_array(small_changed, reference=small)
+        large_sections = codec.encode_array(large_changed, reference=large)
+        assert len(small_sections[0]) == 2 * 2   # two u2 indices
+        assert len(large_sections[0]) == 2 * 4   # two u4 indices
+        for sections, ref, want in ((small_sections, small, small_changed),
+                                    (large_sections, large, large_changed)):
+            decoded = codec.decode_array(sections, want.shape, want.dtype,
+                                         reference=ref)
+            assert np.array_equal(decoded, want)
+
+    @pytest.mark.parametrize("name", ["topk:0.5", "topk:0.5:int8", "sparse-delta"])
+    def test_legacy_wide_index_frames_still_decode(self, name):
+        """Frames with u4 indices on small tensors (pre-u2 writers) decode."""
+        codec = get_codec(name)
+        reference = np.zeros(50)
+        array = reference.copy()
+        array[[1, 7, 42]] = (1.0, -2.0, 3.0)
+        sections = list(codec.encode_array(array, reference=reference))
+        narrow = np.frombuffer(sections[0], dtype="<u2")
+        sections[0] = narrow.astype("<u4").tobytes()  # re-widen the indices
+        decoded = codec.decode_array(sections, array.shape, array.dtype,
+                                     reference=reference)
+        if codec.exact:
+            assert np.array_equal(decoded, array)
+        else:
+            # int8 adds up to half a quantization step (~0.012 here)
+            assert np.allclose(decoded, array, atol=0.05)
+
+    def test_sparse_delta_exact_roundtrip(self, rng):
+        for dtype in ("float64", "float32"):
+            state = random_state(np.random.default_rng(8), dtype=dtype)
+            # perturb a handful of entries per tensor; the rest stay shared
+            reference = {}
+            for key, value in state.items():
+                ref = value.copy()
+                ref.reshape(-1)[:3] += np.asarray(0.125, dtype=dtype)
+                reference[key] = ref
+            codec = get_codec("sparse-delta")
+            assert codec.exact and codec.needs_reference
+            update = ExpertUpdate(0, 0, 0, state, 1.0)
+            decoded = decode_update(encode_update(update, codec, reference=reference),
+                                    reference=reference)
+            for key, value in state.items():
+                assert decoded.state[key].dtype == value.dtype
+                assert np.array_equal(decoded.state[key], value)
+
+    def test_sparse_delta_assigns_rather_than_adds(self):
+        """Decode must overwrite changed entries, not accumulate onto them."""
+        reference = np.array([1.0, 2.0, 3.0])
+        array = np.array([1.0, 5.0, 3.0])
+        codec = get_codec("sparse-delta")
+        sections = codec.encode_array(array, reference=reference)
+        decoded = codec.decode_array(sections, array.shape, array.dtype,
+                                     reference=reference)
+        assert np.array_equal(decoded, array)
+        # the value section carries the new value itself, not the delta
+        assert np.frombuffer(sections[1], dtype="<f8")[0] == 5.0
+
+    def test_sparse_delta_wire_bytes_per_param(self):
+        assert get_codec("sparse-delta").wire_bytes_per_param() == pytest.approx(10.0)
+
+    def test_composed_wire_bytes_per_param(self):
+        codec = get_codec("topk:0.25:int4")
+        assert codec.wire_bytes_per_param() == pytest.approx(0.25 * (2 + 0.5))
+        assert codec.wire_bytes_per_param(group_size=1000) == pytest.approx(
+            0.25 * 2.5 + 4 / 1000)
+        with pytest.raises(ValueError):
+            codec.wire_bytes_per_param(group_size=0)
+
+    def test_corrupt_sparse_sections_detected(self):
+        from repro.comm import PayloadCorruptedError
+
+        reference = np.zeros(20)
+        array = reference.copy()
+        array[[2, 11]] = (1.0, -1.0)
+        delta = get_codec("sparse-delta")
+        good = delta.encode_array(array, reference=reference)
+        with pytest.raises(PayloadCorruptedError):
+            delta.decode_array(good + [b""], array.shape, array.dtype,
+                               reference=reference)  # wrong section count
+        with pytest.raises(PayloadCorruptedError):
+            delta.decode_array([good[0], good[1][:-3]], array.shape, array.dtype,
+                               reference=reference)  # torn value section
+        bad_index = [np.array([2, 99], dtype="<u2").tobytes(), good[1]]
+        with pytest.raises(PayloadCorruptedError):
+            delta.decode_array(bad_index, array.shape, array.dtype,
+                               reference=reference)  # index outside the tensor
+        composed = get_codec("topk:0.5:int4")
+        frame = composed.encode_array(array, reference=reference)
+        with pytest.raises(PayloadCorruptedError):
+            composed.decode_array([frame[0][:-1], frame[1], frame[2]],
+                                  array.shape, array.dtype,
+                                  reference=reference)  # index/code mismatch
+        with pytest.raises(PayloadCorruptedError):
+            composed.decode_array([frame[0], frame[1], frame[2] * 2],
+                                  array.shape, array.dtype,
+                                  reference=reference)  # two scales
 
 
 class TestFraming:
@@ -472,6 +640,28 @@ class TestWireRounds:
         for name in before:
             assert np.array_equal(np.asarray(before[name]), np.asarray(after[name]))
 
+    def test_wire_composed_codec_corruption_detected(self, vocab, tiny_config):
+        """Corrupted composed sparse frames are dropped, never mis-applied."""
+        tuner = make_stub(self.config(transport="wire", codec="topk:0.25:int4",
+                                      streaming_aggregation=True,
+                                      channel_corrupt_prob=1.0),
+                          vocab, tiny_config)
+        before = tuner.server.global_state()
+        result = tuner.run(num_rounds=1)
+        assert result.rounds[0].payloads_corrupted > 0
+        after = tuner.server.global_state()
+        for name in before:
+            assert np.array_equal(np.asarray(before[name]), np.asarray(after[name]))
+
+    def test_wire_composed_codec_round_converges(self, vocab, tiny_config):
+        tuner = make_stub(self.config(transport="wire", codec="topk:0.25:int4",
+                                      streaming_aggregation=True), vocab, tiny_config)
+        before = tuner.server.global_state()
+        tuner.run(num_rounds=1)
+        after = tuner.server.global_state()
+        assert any(not np.array_equal(np.asarray(before[n]), np.asarray(after[n]))
+                   for n in before)
+
     def test_wire_topk_round_converges_toward_updates(self, vocab, tiny_config):
         tuner = make_stub(self.config(transport="wire", codec="topk:0.5",
                                       streaming_aggregation=True), vocab, tiny_config)
@@ -529,6 +719,31 @@ class TestMeasuredVsAnalytic:
         # the plain bits/8 estimate remains a (looser) lower bound
         naive = ExchangePlan.for_bits(0, num_updates, 4).payload_bytes(params)
         assert naive < measured
+
+    def test_composed_topk_round_within_5pct_of_analytic(self, vocab):
+        """Acceptance: measured topk:0.25:int4 bytes ~ the codec's analytics."""
+        config = llama_moe_mini(vocab_size=vocab.size)
+        tuner = make_stub(RunConfig(transport="wire", codec="topk:0.25:int4",
+                                    streaming_aggregation=True,
+                                    eval_max_samples=4, eval_batch_size=4),
+                          vocab, config, num_participants=2)
+        result = tuner.run(num_rounds=1)
+        measured = result.rounds[0].wire_bytes
+        assert measured > 0
+
+        model = tuner.server.global_model
+        codec = get_codec("topk:0.25:int4")
+        expert_state = model.expert_state(0, 0)
+        # one scale per tensor: group_size is the flattened tensor size
+        per_update = sum(
+            np.asarray(v).size * codec.wire_bytes_per_param(
+                group_size=np.asarray(v).size)
+            for v in expert_state.values())
+        num_updates = len(list(model.iter_expert_ids())) * len(tuner.participants)
+        assert measured == pytest.approx(per_update * num_updates, rel=0.05)
+        # and the sparse frames are an order of magnitude under raw fp64
+        fp64 = sum(np.asarray(v).size * 8.0 for v in expert_state.values())
+        assert measured < 0.15 * fp64 * num_updates
 
     def test_group_aware_bytes_per_param(self):
         assert bytes_per_param_for_bits(4) == pytest.approx(0.5)

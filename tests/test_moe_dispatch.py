@@ -166,6 +166,117 @@ class TestDispatchEquivalence:
         assert np.isfinite(loss.item())
 
 
+class TestSparseDispatch:
+    """The zero-skipping sparse path vs the dense paths on sparsified weights."""
+
+    def _sparsified_pair(self, dispatch_a="batched", dtype="float64",
+                         density=0.25, bits=2, **kwargs):
+        a, b = _layer_pair(dispatch_a, "sparse", dtype=dtype, **kwargs)
+        realised_a = a.sparsify_experts(density, bits=bits)
+        realised_b = b.sparsify_experts(density, bits=bits)
+        assert realised_a == realised_b  # same seed, same deterministic prune
+        return a, b
+
+    @pytest.mark.parametrize("activation", ["silu", "gelu", "relu"])
+    def test_sparse_bit_identical_to_batched(self, activation):
+        a, b = self._sparsified_pair(activation=activation)
+        x = np.random.default_rng(11).standard_normal((3, 7, 16))
+        out_a, gx_a, gp_a = _run(a, x, sample_ids=np.arange(3))
+        out_b, gx_b, gp_b = _run(b, x, sample_ids=np.arange(3))
+        _assert_bit_identical(out_a, out_b)
+        _assert_bit_identical(gx_a, gx_b)
+        for name in gp_a:
+            if gp_a[name] is None:
+                assert gp_b[name] is None
+            else:
+                _assert_bit_identical(gp_a[name], gp_b[name], name)
+
+    def test_sparse_bit_identical_to_loop(self):
+        a, b = self._sparsified_pair(dispatch_a="loop")
+        x = np.random.default_rng(12).standard_normal((2, 6, 16))
+        out_a, gx_a, _ = _run(a, x)
+        out_b, gx_b, _ = _run(b, x)
+        _assert_bit_identical(out_a, out_b)
+        _assert_bit_identical(gx_a, gx_b)
+
+    def test_sparse_bit_identical_float32(self):
+        a, b = self._sparsified_pair(dtype="float32")
+        x = np.random.default_rng(13).standard_normal((2, 5, 16)).astype(np.float32)
+        out_a, gx_a, _ = _run(a, x)
+        out_b, gx_b, _ = _run(b, x)
+        assert out_b.dtype == np.float32
+        _assert_bit_identical(out_a, out_b)
+        _assert_bit_identical(gx_a, gx_b)
+
+    def test_dense_weights_fall_back_to_batched(self):
+        """At full density the sparse plan declines and the dense path runs."""
+        a, b = _layer_pair("batched", "sparse")
+        gate_params = [e.w_gate.weight for e in b.experts]
+        up_params = [e.w_up.weight for e in b.experts]
+        assert b._sparse_plan(gate_params, up_params) is None
+        x = np.random.default_rng(14).standard_normal((2, 4, 16))
+        out_a, gx_a, _ = _run(a, x)
+        out_b, gx_b, _ = _run(b, x)
+        _assert_bit_identical(out_a, out_b)
+        _assert_bit_identical(gx_a, gx_b)
+
+    def test_sparsify_returns_realised_density(self):
+        _, layer = _layer_pair()
+        realised = layer.sparsify_experts(0.25)
+        assert realised == pytest.approx(np.ceil(0.25 * 24) / 24)
+
+    def test_sparsify_validates_density(self):
+        _, layer = _layer_pair()
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                layer.sparsify_experts(bad)
+
+    def test_quantization_preserves_dead_channels(self):
+        """Zeroed channels survive the fake-quantization round trip exactly."""
+        _, layer = _layer_pair()
+        from repro.models.experts import sparsify_expert
+
+        expert = layer.experts[0]
+        kept = sparsify_expert(expert, 0.25, bits=2)
+        dead = np.setdiff1d(np.arange(24), kept)
+        assert dead.size == 24 - kept.size
+        assert not expert.w_gate.weight.data[dead].any()
+        assert not expert.w_up.weight.data[dead].any()
+        assert not expert.w_down.weight.data[:, dead].any()
+        # and the kept channels are non-trivially quantized, not wiped
+        assert expert.w_gate.weight.data[kept].any()
+
+    def test_dead_channels_stay_dead_after_training_step(self):
+        from repro.models.experts import sparsify_expert
+
+        _, layer = _layer_pair()
+        kept_per_expert = [
+            np.setdiff1d(np.arange(24), sparsify_expert(e, 0.25, bits=2))
+            for e in layer.experts
+        ]
+        x = np.random.default_rng(15).standard_normal((2, 6, 16))
+        optimizer = Adam(list(layer.parameters()), lr=1e-2)
+        for _ in range(3):
+            out = layer(Tensor(x, requires_grad=True))
+            out.sum().backward()
+            optimizer.step()
+            optimizer.zero_grad()
+        for expert, dead in zip(layer.experts, kept_per_expert):
+            assert not expert.w_gate.weight.data[dead].any()
+            assert not expert.w_up.weight.data[dead].any()
+            assert not expert.w_down.weight.data[:, dead].any()
+
+    def test_model_config_accepts_sparse_dispatch(self):
+        config = tiny_moe(dispatch="sparse")
+        model = MoETransformer(config)
+        for layer in model.moe_layers():
+            assert layer.dispatch == "sparse"
+        ids = np.random.default_rng(0).integers(0, config.vocab_size, size=(2, 8))
+        loss = model.compute_loss(ids)
+        loss.backward()
+        assert np.isfinite(loss.item())
+
+
 class TestZeroGradientStep:
     def test_local_finetune_survives_starved_trainable_expert(self):
         """A batch that routes no token to any trainable expert is a

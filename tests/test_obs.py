@@ -284,6 +284,28 @@ class TestRunTelemetry:
         assert transfer and all(e.get("sim_duration") is not None
                                 for e in transfer)
 
+    def test_uplink_spans_carry_wire_density(self, telemetry_run, vocab,
+                                             tiny_config, tmp_path):
+        """Uplink spans record payload bytes as a fraction of raw fp64."""
+        def uplink_densities(trace_dir):
+            events = load_events(os.path.join(trace_dir, JSONL_FILE))
+            return [e["attrs"]["wire_density"] for e in events
+                    if e.get("type") == "span" and e.get("name") == "uplink"
+                    and "wire_density" in e.get("attrs", {})]
+
+        _, _, trace_dir = telemetry_run
+        dense = uplink_densities(trace_dir)
+        # fp64 frames cost a hair more than the raw tensors (frame headers)
+        assert dense and all(density >= 1.0 for density in dense)
+
+        sparse_dir = str(tmp_path / "sparse-trace")
+        server, participants, test, config = _telemetry_federation(
+            vocab, tiny_config, sparse_dir, codec="topk:0.25:int4",
+            streaming_aggregation=True)
+        ConstantMethod(server, participants, test, config=config).run(1)
+        sparse = uplink_densities(sparse_dir)
+        assert sparse and all(density < 0.2 for density in sparse)
+
     def test_tier_byte_counters_match_round_results_exactly(self, telemetry_run):
         result, _, trace_dir = telemetry_run
         events = load_events(os.path.join(trace_dir, JSONL_FILE))

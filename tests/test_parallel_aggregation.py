@@ -178,7 +178,9 @@ class TestPooledRuns:
         {"num_shards": 4},
         {"edge_tiers": (3, 2), "num_shards": 2, "aggregation": "trimmed_mean"},
         {"edge_tiers": (2, 2), "transport": "wire", "streaming_aggregation": True},
-    ], ids=["shards", "tree+trim", "tree+wire"])
+        {"edge_tiers": (2, 2), "transport": "wire", "codec": "topk:0.25:int4",
+         "streaming_aggregation": True},
+    ], ids=["shards", "tree+trim", "tree+wire", "tree+sparse-wire"])
     def test_pooled_run_matches_serial_run(self, vocab, tiny_config, knobs):
         serial_result, serial_tuner = self._run(vocab, tiny_config, **knobs)
         pooled_result, pooled_tuner = self._run(

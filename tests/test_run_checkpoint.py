@@ -10,7 +10,13 @@ import pytest
 from repro.core import FluxConfig, FluxFineTuner
 from repro.models.presets import ARCHITECTURE_DESCRIPTORS
 from repro.runtime import latest_checkpoint, load_run_checkpoint
-from repro.runtime.checkpoint import RunCheckpointer, STATE_FILE
+from repro.runtime.checkpoint import (
+    DELTA_BASE_FILE,
+    MODEL_DELTA_FILE,
+    MODEL_FILE,
+    RunCheckpointer,
+    STATE_FILE,
+)
 from repro.systems import CONSUMER_GPU, CostModel, MemoryModel
 
 from test_runtime import ConstantMethod, build_federation
@@ -375,3 +381,147 @@ class TestCheckpointRotation:
     def test_checkpointer_validates_keep_last(self, tmp_path):
         with pytest.raises(ValueError, match="keep_last"):
             RunCheckpointer(directory=str(tmp_path), every=1, keep_last=-1)
+
+
+class TestDeltaCheckpoints:
+    """Sparse-delta snapshot chains + the background writer.
+
+    Every configuration must stay bit-identical to the plain full-snapshot
+    path: the snapshot *encoding* is purely operational and may never change
+    what a resumed run computes.
+    """
+
+    def _snapshot_files(self, root):
+        return {name: sorted(os.listdir(os.path.join(root, name)))
+                for name in sorted(os.listdir(root))
+                if name.startswith("round_")}
+
+    def test_full_every_k_layout(self, vocab, tiny_config, tmp_path):
+        tuner = build_constant_tuner(
+            vocab, tiny_config, participants_per_round=3, checkpoint_every=1,
+            checkpoint_dir=str(tmp_path), checkpoint_delta_every=2)
+        tuner.run(num_rounds=4)
+        layout = self._snapshot_files(str(tmp_path))
+        full = sorted([MODEL_FILE, STATE_FILE])
+        delta = sorted([DELTA_BASE_FILE, MODEL_DELTA_FILE, STATE_FILE])
+        # first save is always full; then up to delta_every=2 deltas between fulls
+        assert layout == {"round_00001": full, "round_00002": delta,
+                          "round_00003": delta, "round_00004": full}
+        assert (tmp_path / "round_00002" / DELTA_BASE_FILE).read_text() == "round_00001"
+        assert (tmp_path / "round_00003" / DELTA_BASE_FILE).read_text() == "round_00002"
+
+    def test_chain_load_is_bit_identical_to_full_snapshots(self, vocab, tiny_config,
+                                                           tmp_path):
+        knobs = dict(participants_per_round=3, checkpoint_every=1)
+        build_constant_tuner(vocab, tiny_config, checkpoint_dir=str(tmp_path / "full"),
+                             **knobs).run(num_rounds=4)
+        build_constant_tuner(vocab, tiny_config, checkpoint_dir=str(tmp_path / "delta"),
+                             checkpoint_delta_every=3, **knobs).run(num_rounds=4)
+        for round_index in (1, 2, 3, 4):
+            name = f"round_{round_index:05d}"
+            want = load_run_checkpoint(str(tmp_path / "full" / name))["model_state"]
+            got = load_run_checkpoint(str(tmp_path / "delta" / name))["model_state"]
+            assert set(got) == set(want)
+            for key in want:
+                assert got[key].dtype == want[key].dtype, key
+                assert np.array_equal(got[key], want[key]), (name, key)
+
+    @pytest.mark.parametrize("asynch", [False, True], ids=["sync", "async"])
+    def test_resume_from_delta_matches_uninterrupted(self, vocab, tiny_config,
+                                                     tmp_path, asynch):
+        knobs = dict(participants_per_round=3)
+        expected_tuner = build_constant_tuner(vocab, tiny_config, **knobs)
+        expected = expected_tuner.run(num_rounds=4)
+
+        durable = dict(knobs, checkpoint_every=1, checkpoint_dir=str(tmp_path),
+                       checkpoint_delta_every=4, checkpoint_async=asynch)
+        build_constant_tuner(vocab, tiny_config, **durable).run(num_rounds=2)
+        snapshot = latest_checkpoint(str(tmp_path))
+        # the interruption point is a delta snapshot, not a full one
+        assert os.path.exists(os.path.join(snapshot, MODEL_DELTA_FILE))
+        assert not os.path.exists(os.path.join(snapshot, MODEL_FILE))
+
+        resumed_tuner = build_constant_tuner(vocab, tiny_config, **durable)
+        resumed = resumed_tuner.run(num_rounds=4, resume_from=snapshot)
+        assert_run_results_equal(resumed, expected)
+        assert_models_equal(resumed_tuner.server.global_model,
+                            expected_tuner.server.global_model)
+
+    def test_resume_from_delta_with_wire_and_faults(self, vocab, tiny_config,
+                                                    tmp_path):
+        knobs = dict(participants_per_round=3, transport="wire",
+                     streaming_aggregation=True, channel_loss_prob=0.2,
+                     dropout_prob=0.2, straggler_prob=0.3)
+        expected_tuner = build_constant_tuner(vocab, tiny_config, **knobs)
+        expected = expected_tuner.run(num_rounds=4)
+
+        durable = dict(knobs, checkpoint_every=1, checkpoint_dir=str(tmp_path),
+                       checkpoint_delta_every=4, checkpoint_async=True)
+        build_constant_tuner(vocab, tiny_config, **durable).run(num_rounds=2)
+        snapshot = latest_checkpoint(str(tmp_path))
+        assert os.path.exists(os.path.join(snapshot, MODEL_DELTA_FILE))
+
+        resumed_tuner = build_constant_tuner(vocab, tiny_config, **durable)
+        resumed = resumed_tuner.run(num_rounds=4, resume_from=snapshot)
+        assert_run_results_equal(resumed, expected)
+        assert_models_equal(resumed_tuner.server.global_model,
+                            expected_tuner.server.global_model)
+
+    def test_rotation_protects_delta_chain_bases(self, vocab, tiny_config, tmp_path):
+        tuner = build_constant_tuner(
+            vocab, tiny_config, participants_per_round=3, checkpoint_every=1,
+            checkpoint_dir=str(tmp_path), checkpoint_keep_last=1,
+            checkpoint_delta_every=8)
+        tuner.run(num_rounds=3)
+        # round_00003 is a delta onto round_00002, itself a delta onto the
+        # full round_00001: keep_last=1 must keep the whole resumable chain.
+        assert sorted(os.listdir(tmp_path)) == [
+            "round_00001", "round_00002", "round_00003"]
+        state = load_run_checkpoint(str(tmp_path / "round_00003"))
+        assert state["next_round"] == 3
+
+    def test_load_fails_when_chain_base_is_missing(self, vocab, tiny_config,
+                                                   tmp_path):
+        build_constant_tuner(
+            vocab, tiny_config, participants_per_round=3, checkpoint_every=1,
+            checkpoint_dir=str(tmp_path), checkpoint_delta_every=8,
+        ).run(num_rounds=2)
+        os.remove(tmp_path / "round_00001" / STATE_FILE)  # now torn
+        with pytest.raises(FileNotFoundError, match="base"):
+            load_run_checkpoint(str(tmp_path / "round_00002"))
+
+    def test_writer_error_surfaces_on_round_loop(self, vocab, tiny_config, tmp_path):
+        checkpointer = RunCheckpointer(directory=str(tmp_path), every=1,
+                                       background=True)
+        tuner = build_constant_tuner(vocab, tiny_config, participants_per_round=3)
+        boom = RuntimeError("disk gone")
+
+        checkpointer.save(tuner, _DummyScheduler(), None, None, [])
+        checkpointer.finish()  # first write lands fine
+
+        def explode(*args, **kwargs):
+            raise boom
+
+        import repro.runtime.checkpoint as ckpt_mod
+        original = ckpt_mod.write_run_checkpoint
+        ckpt_mod.write_run_checkpoint = explode
+        try:
+            checkpointer.save(tuner, _DummyScheduler(), None, None, [])
+            with pytest.raises(RuntimeError, match="disk gone"):
+                checkpointer.finish()
+        finally:
+            ckpt_mod.write_run_checkpoint = original
+
+    def test_validates_delta_every(self, tmp_path):
+        with pytest.raises(ValueError, match="delta_every"):
+            RunCheckpointer(directory=str(tmp_path), every=1, delta_every=-1)
+        from repro.federated import RunConfig
+        with pytest.raises(ValueError, match="checkpoint_delta_every"):
+            RunConfig(checkpoint_delta_every=-1)
+
+
+class _DummyScheduler:
+    name = "sync"
+
+    def export_state(self):
+        return None
