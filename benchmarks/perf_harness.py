@@ -798,6 +798,165 @@ def check_sparse_regression(current: Dict, baseline_path: str,
     return 0
 
 
+# ------------------------------------------------------------ service suite
+#: shard counts compared pooled-vs-service (each shard is one fold job,
+#: pinned to one pool worker / one aggregator server)
+SERVICE_SHARD_COUNTS = (2, 4)
+SERVICE_TRANSPORTS = ("socketpair", "tcp")
+
+
+def _bench_service_fold(updates, num_shards: int, iters: int, reps: int,
+                        pooled_pool, service_pools: Dict) -> Dict:
+    """Pooled vs service fold of one round's updates at ``num_shards`` shards.
+
+    Both planes fold the *same* pre-framed shard jobs through their
+    ``fold_shards`` entry point — the exact critical path the round loop
+    drives — so the measured ratio isolates the transport (process-pool IPC
+    pickling vs length-prefixed socket frames + RPC envelope) from the fold
+    math, which is byte-identical by construction.  Interleaved per
+    repetition so host-load drift cancels out of the gated ratio.
+    """
+    from repro.federated import ShardedParameterServer
+    from repro.models import MoETransformer
+    from repro.models.presets import get_preset
+    from repro.runtime.executor import frame_update
+
+    config = get_preset(AGG_PRESET.replace("_", "-"))
+    router = ShardedParameterServer(MoETransformer(config), num_shards=num_shards)
+    shard_framed: Dict[int, list] = {}
+    for update in updates:
+        shard_framed.setdefault(router.shard_of(update.key), []).append(
+            frame_update(update))
+    jobs = sorted(shard_framed.items())
+
+    fns = {"pooled": {"fold": lambda: pooled_pool.fold_shards(None, False, jobs)}}
+    for transport, pool in service_pools.items():
+        fns[f"service_{transport}"] = {
+            "fold": lambda pool=pool: pool.fold_shards(None, False, jobs)}
+    times = _interleaved_best_times(fns, iters, reps)
+    pooled_s = times["pooled"]["fold"]
+    result = {
+        "num_jobs": len(jobs),
+        "pooled_wall_s": pooled_s,
+        "pooled_updates_per_s": len(updates) / pooled_s,
+        "transports": {},
+    }
+    for transport in service_pools:
+        service_s = times[f"service_{transport}"]["fold"]
+        result["transports"][transport] = {
+            "wall_s": service_s,
+            "updates_per_s": len(updates) / service_s,
+            # the gated cost metric: how much slower (>1) or faster (<1) the
+            # service critical path is than the pooled one on the same host
+            "wall_ratio_service_vs_pooled": service_s / pooled_s,
+        }
+    return result
+
+
+def run_service_suite(quick: bool) -> Dict:
+    """The service-backend benchmark family (``--suite service``).
+
+    Compares the fold critical path of the process-pool plane against the
+    persistent socket-backed service plane (both transports) on identical
+    framed updates, plus an RPC round-trip microbenchmark per transport.
+    The gated metric is the machine-independent wall-time *ratio* of the two
+    planes, which a regression in stream framing, the RPC envelope, or the
+    client chunking would move.
+    """
+    from repro.runtime import AggregationPool
+    from repro.service import ServiceAggregationPool
+
+    participants = 64
+    iters = 2 if quick else 4
+    reps = 3 if quick else 6
+    model, updates = _make_aggregation_updates(participants)
+    max_servers = max(SERVICE_SHARD_COUNTS)
+    pooled = AggregationPool(max_workers=max_servers)
+    service_pools = {transport: ServiceAggregationPool(max_servers,
+                                                       transport=transport)
+                     for transport in SERVICE_TRANSPORTS}
+    try:
+        # Spawn workers and servers outside the timings.
+        pooled.prefold_nodes(None, [(0, -1, [])])
+        for pool in service_pools.values():
+            pool.prefold_nodes(None, [(0, -1, [])])
+        shards = {str(n): _bench_service_fold(updates, n, iters, reps,
+                                              pooled, service_pools)
+                  for n in SERVICE_SHARD_COUNTS}
+        ping_iters = 50 if quick else 200
+        rpc = {transport: {"ping_s": _best_time(pool._clients[0].ping,
+                                                ping_iters, reps)}
+               for transport, pool in service_pools.items()}
+    finally:
+        pooled.close()
+        for pool in service_pools.values():
+            pool.close()
+    headline_shards = str(max(SERVICE_SHARD_COUNTS))
+    return {
+        "preset": AGG_PRESET,
+        "participants": participants,
+        "num_keys": len(list(model.iter_expert_ids())),
+        "num_updates": len(updates),
+        "host_cpus": os.cpu_count(),
+        "shards": shards,
+        "rpc": rpc,
+        "note": ("pooled and service planes fold identical pre-framed shard "
+                 "jobs through fold_shards (bit-identical results, "
+                 "test-enforced); wall_ratio_service_vs_pooled is the gated "
+                 "cost ratio (>1 = service slower on this host), which "
+                 "isolates transport overhead — stream framing, RPC "
+                 "envelope, ADD chunking — from the shared fold math.  "
+                 "rpc.ping_s is one request/response round trip."),
+        "headline_ratio": shards[headline_shards]["transports"]["tcp"][
+            "wall_ratio_service_vs_pooled"],
+    }
+
+
+def check_service_regression(current: Dict, baseline_path: str,
+                             tolerance: float) -> int:
+    """Gate the service-vs-pooled wall ratios against the committed baseline.
+
+    Like the telemetry gate, the ratio is a *cost*: the check fails when a
+    current ratio exceeds the committed one by more than ``tolerance``
+    (relative), or when a committed ratio went unmeasured.
+    """
+    with open(baseline_path) as handle:
+        committed = json.load(handle)
+    committed_service = committed.get("service", {})
+    if not committed_service.get("shards"):
+        print(f"[MISSING] {baseline_path} carries no service suite baseline; "
+              "a gated suite without a committed reference cannot pass")
+        return 1
+    current_service = current.get("service", {})
+    failures = []
+    for shards, ref_entry in committed_service["shards"].items():
+        for transport, ref_transport in ref_entry.get("transports", {}).items():
+            ref = ref_transport.get("wall_ratio_service_vs_pooled")
+            if not ref:
+                continue
+            cur = (current_service.get("shards", {}).get(shards, {})
+                   .get("transports", {}).get(transport, {})
+                   .get("wall_ratio_service_vs_pooled"))
+            if not cur:
+                print(f"[MISSING] service/{shards}shards/{transport}: committed "
+                      f"{ref:.2f}x has no current measurement")
+                failures.append((shards, transport, None, ref))
+                continue
+            ceiling = (1.0 + tolerance) * ref
+            status = "OK" if cur <= ceiling else "REGRESSION"
+            print(f"[{status}] service/{shards}shards/{transport}: current "
+                  f"{cur:.2f}x of pooled vs committed {ref:.2f}x "
+                  f"(ceiling {ceiling:.2f}x)")
+            if cur > ceiling:
+                failures.append((shards, transport, cur, ref))
+    if failures:
+        print(f"FAILED: {len(failures)} service fold ratio(s) grew more than "
+              f"{tolerance:.0%} (or went unmeasured) vs {baseline_path}")
+        return 1
+    print(f"All service fold ratios within {tolerance:.0%} of {baseline_path}")
+    return 0
+
+
 # ---------------------------------------------------------- telemetry suite
 TELEMETRY_ROUNDS = 2
 TELEMETRY_CLIENTS = 8
@@ -1048,7 +1207,8 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="smaller token counts / fewer repetitions (CI smoke)")
     parser.add_argument("--suite",
-                        choices=("hotpath", "aggregation", "telemetry", "sparse"),
+                        choices=("hotpath", "aggregation", "telemetry", "sparse",
+                                 "service"),
                         default="hotpath",
                         help="hotpath: MoE dispatch/training throughput (default); "
                              "aggregation: server-side fold throughput, serial vs "
@@ -1057,7 +1217,10 @@ def main(argv=None) -> int:
                              "on-vs-off ratio plus span microbenchmarks; "
                              "sparse: zero-skipping dispatch vs batched on "
                              "sparsified experts, composed sparse codec wire "
-                             "bytes, full vs delta checkpoint cost")
+                             "bytes, full vs delta checkpoint cost; "
+                             "service: socket-backed aggregator servers vs the "
+                             "process pool on the same fold critical path, "
+                             "per transport, plus RPC round-trip latency")
     parser.add_argument("--output", default=None,
                         help="where to write the results JSON (default: "
                              "BENCH_hotpath.json or BENCH_aggregation.json by suite)")
@@ -1079,7 +1242,8 @@ def main(argv=None) -> int:
     default_output = {"hotpath": "BENCH_hotpath.json",
                       "aggregation": "BENCH_aggregation.json",
                       "telemetry": "BENCH_telemetry.json",
-                      "sparse": "BENCH_sparse.json"}[args.suite]
+                      "sparse": "BENCH_sparse.json",
+                      "service": "BENCH_service.json"}[args.suite]
     output = args.output or os.path.join(REPO_ROOT, default_output)
     result = {
         "meta": {
@@ -1098,6 +1262,8 @@ def main(argv=None) -> int:
         result["telemetry"] = run_telemetry_suite(args.quick)
     elif args.suite == "sparse":
         result["sparse"] = run_sparse_suite(args.quick)
+    elif args.suite == "service":
+        result["service"] = run_service_suite(args.quick)
     else:
         result["presets"] = run_suite(args.quick)
         if args.seed_src:
@@ -1142,6 +1308,23 @@ def main(argv=None) -> int:
               f"(fwd+bwd) speedup at density {sparse['density']:g}")
         if args.check:
             return check_sparse_regression(result, args.check, args.tolerance)
+        return 0
+    if args.suite == "service":
+        service = result["service"]
+        for shards, entry in service["shards"].items():
+            parts = ", ".join(
+                f"{transport} {values['wall_ratio_service_vs_pooled']:.2f}x"
+                for transport, values in entry["transports"].items())
+            print(f"  {shards} shard(s): pooled "
+                  f"{entry['pooled_updates_per_s']:,.0f} updates/s; service "
+                  f"wall ratio vs pooled: {parts}")
+        for transport, entry in service["rpc"].items():
+            print(f"  rpc {transport}: ping {entry['ping_s'] * 1e6:,.0f}us")
+        print(f"  headline: service/tcp critical path at "
+              f"{max(SERVICE_SHARD_COUNTS)} shards is "
+              f"{service['headline_ratio']:.2f}x pooled wall time")
+        if args.check:
+            return check_service_regression(result, args.check, args.tolerance)
         return 0
     if args.suite == "telemetry":
         tel = result["telemetry"]

@@ -83,8 +83,19 @@ CONFIGS = {
 }
 
 
+#: ``--backend service``: the whole matrix re-runs with the fold plane behind
+#: live :mod:`repro.service` aggregator servers (TCP child processes), so the
+#: hard kill orphans half-folded server-side round state and the resume must
+#: come back bit-identically through *fresh* servers (the nightly lane)
+SERVICE_OVERRIDES = dict(
+    aggregation_executor="service", aggregation_workers=2,
+    service_transport="tcp",
+)
+
+
 def build_tuner(name: str, checkpoint_dir: str | None = None,
-                kill_at: int | None = None, trace_dir: str | None = None):
+                kill_at: int | None = None, trace_dir: str | None = None,
+                backend: str = "config"):
     vocab = Vocabulary(size=96, num_topics=4)
     config = tiny_moe(vocab_size=vocab.size)
     dataset = make_gsm8k_like(vocab=vocab, num_samples=160, seed=3)
@@ -97,6 +108,8 @@ def build_tuner(name: str, checkpoint_dir: str | None = None,
         for pid, shard in enumerate(shards)
     ]
     overrides = dict(CONFIGS[name])
+    if backend == "service":
+        overrides.update(SERVICE_OVERRIDES)
     checkpoint_every = overrides.pop("checkpoint_every", CHECKPOINT_EVERY)
     run_config = RunConfig(
         batch_size=8, max_local_batches=1, eval_max_samples=16, seed=3,
@@ -151,7 +164,8 @@ def check_round_spans(trace_dir: str, num_rounds: int) -> list[str]:
 
 
 def run_config_smoke(name: str, workdir: str,
-                     trace_root: str | None = None) -> list[str]:
+                     trace_root: str | None = None,
+                     backend: str = "config") -> list[str]:
     """Kill+resume one matrix configuration; return a list of failures."""
     checkpoint_dir = os.path.join(workdir, name, "checkpoints")
     if os.path.isdir(checkpoint_dir):
@@ -163,9 +177,10 @@ def run_config_smoke(name: str, workdir: str,
     if trace_dir and os.path.isdir(trace_dir):
         shutil.rmtree(trace_dir)  # same staleness hazard as checkpoints
 
-    print(f"=== {name} ===", flush=True)
+    tag = f"{name} ({backend} backend)" if backend != "config" else name
+    print(f"=== {tag} ===", flush=True)
     print(f"[1/3] reference: uninterrupted {NUM_ROUNDS}-round run", flush=True)
-    reference_tuner = build_tuner(name)
+    reference_tuner = build_tuner(name, backend=backend)
     reference = reference_tuner.run(num_rounds=NUM_ROUNDS)
 
     cadence = CONFIGS[name].get("checkpoint_every", CHECKPOINT_EVERY)
@@ -173,7 +188,7 @@ def run_config_smoke(name: str, workdir: str,
           f"(snapshots every {cadence} round(s))", flush=True)
     child_argv = [sys.executable, os.path.abspath(__file__),
                   "--workdir", workdir, "--phase", "killed-child",
-                  "--config", name]
+                  "--config", name, "--backend", backend]
     if trace_root:
         child_argv += ["--trace-dir", trace_root]
     child = subprocess.run(child_argv, cwd=REPO_ROOT)
@@ -186,7 +201,8 @@ def run_config_smoke(name: str, workdir: str,
         return [f"no surviving checkpoint under {checkpoint_dir}"]
     print(f"[3/3] resume: from {os.path.basename(snapshot)} "
           f"to round {NUM_ROUNDS}", flush=True)
-    resumed_tuner = build_tuner(name, checkpoint_dir, trace_dir=trace_dir)
+    resumed_tuner = build_tuner(name, checkpoint_dir, trace_dir=trace_dir,
+                                backend=backend)
     resumed = resumed_tuner.run(num_rounds=NUM_ROUNDS, resume_from=snapshot)
 
     failures = []
@@ -210,7 +226,7 @@ def run_config_smoke(name: str, workdir: str,
         if not np.array_equal(ref_state[tensor_name], res_state[tensor_name]):
             failures.append(f"model parameter {tensor_name} differs")
     if not failures:
-        print(f"PASS [{name}]: killed-then-resumed run is identical to the "
+        print(f"PASS [{tag}]: killed-then-resumed run is identical to the "
               f"uninterrupted reference ({len(resumed.rounds)} rounds, "
               f"final metric {resumed.final_metric():.3f})")
     return failures
@@ -222,6 +238,10 @@ def main() -> int:
                         help="directory for checkpoints (uploaded as a CI artifact)")
     parser.add_argument("--config", choices=sorted(CONFIGS), default=None,
                         help="run a single matrix configuration (default: all)")
+    parser.add_argument("--backend", choices=["config", "service"], default="config",
+                        help="'service' forces the fold plane of every matrix "
+                             "configuration behind live TCP aggregator servers "
+                             "(the nightly service-resume lane)")
     parser.add_argument("--trace-dir", default=None,
                         help="record repro.obs telemetry for the killed+resumed "
                              "runs under this directory (one subdir per "
@@ -236,13 +256,14 @@ def main() -> int:
         trace_dir = (os.path.join(args.trace_dir, args.config)
                      if args.trace_dir else None)
         build_tuner(args.config, checkpoint_dir, kill_at=KILL_AT_ROUND,
-                    trace_dir=trace_dir).run(num_rounds=NUM_ROUNDS)
+                    trace_dir=trace_dir, backend=args.backend).run(num_rounds=NUM_ROUNDS)
         print("child: run completed without dying?!", flush=True)
         return 1  # the kill switch must have fired before this point
 
     all_failures = {}
     for name in ([args.config] if args.config else sorted(CONFIGS)):
-        failures = run_config_smoke(name, args.workdir, args.trace_dir)
+        failures = run_config_smoke(name, args.workdir, args.trace_dir,
+                                    backend=args.backend)
         if failures:
             all_failures[name] = failures
     if all_failures:

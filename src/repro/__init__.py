@@ -128,6 +128,12 @@ from .models import (
     save_checkpoint,
     tiny_moe,
 )
+from .service import (
+    AggregatorServer,
+    ServiceAggregationPool,
+    ServiceClient,
+    spawn_server,
+)
 from .systems import CONSUMER_GPU, L20_SERVER, SMALL_GPU, CostModel, DeviceProfile, MemoryModel
 
 __version__ = "0.1.0"
@@ -203,6 +209,11 @@ __all__ = [
     "FaultInjector",
     "SerialExecutor",
     "ProcessPoolParticipantExecutor",
+    # service (persistent socket-backed aggregation servers)
+    "AggregatorServer",
+    "spawn_server",
+    "ServiceClient",
+    "ServiceAggregationPool",
     # Flux + baselines
     "FluxConfig",
     "EpsilonSchedule",

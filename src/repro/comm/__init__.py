@@ -3,7 +3,9 @@
 This layer sits *below* the federated substrate: it knows how to turn tensors
 into framed byte payloads (:mod:`~repro.comm.serialization`) under a pluggable
 :class:`Codec` (:mod:`~repro.comm.codecs`), how to move those payloads over a
-metered, faultable link (:mod:`~repro.comm.channel`), and how to fold decoded
+metered, faultable link (:mod:`~repro.comm.channel`), how to delimit them on
+a real byte stream — TCP or ``socketpair`` — with partial-read/-write-safe
+length-prefixed framing (:mod:`~repro.comm.stream`), and how to fold decoded
 updates into a constant-memory running average
 (:mod:`~repro.comm.aggregator`).  The federated stack selects a codec and
 transport via :class:`~repro.federated.RunConfig` (``codec=``,
@@ -33,6 +35,13 @@ from .serialization import (
     encode_state_dict,
     encode_update,
 )
+from .stream import (
+    MAX_FRAME_BYTES,
+    FrameStream,
+    TruncatedFrameError,
+    read_frame,
+    write_frame,
+)
 
 __all__ = [
     "Codec",
@@ -52,6 +61,11 @@ __all__ = [
     "decode_update",
     "encode_state_dict",
     "decode_state_dict",
+    "FrameStream",
+    "TruncatedFrameError",
+    "MAX_FRAME_BYTES",
+    "read_frame",
+    "write_frame",
     "StreamingAggregator",
     "fold_weighted_state",
     "finalize_weighted_sum",

@@ -118,10 +118,25 @@ class RunConfig:
 
     # --- aggregation executor (repro.runtime.executor.AggregationPool)
     #: "process" folds expert shards and tree-node subtrees in a process
-    #: pool (bit-identical to serial, test-enforced); "serial" is the
-    #: single-thread legacy fold.
+    #: pool (bit-identical to serial, test-enforced); "service" folds them
+    #: through long-lived socket-backed aggregator servers
+    #: (:class:`repro.service.ServiceAggregationPool` — also bit-identical,
+    #: test-enforced); "serial" is the single-thread legacy fold.
     aggregation_executor: str = "serial"
     aggregation_workers: Optional[int] = None
+
+    # --- aggregation service (aggregation_executor="service", repro.service)
+    #: "tcp" spawns one aggregator server child process per shard/subtree on
+    #: ephemeral localhost ports; "socketpair" runs them on in-process
+    #: background-thread accept loops (same protocol, zero network setup)
+    service_transport: str = "tcp"
+    #: per-round connect/replay attempts before ServiceUnavailableError
+    service_retry_attempts: int = 3
+    service_retry_delay_s: float = 0.05      # linear backoff between attempts
+    service_timeout_s: float = 30.0          # per-request socket timeout
+    #: write one append-mode log file per spawned TCP server under this
+    #: directory (``scripts/service_smoke.py`` uploads it on CI failure)
+    service_log_dir: Optional[str] = None
 
     # --- durability (repro.runtime.checkpoint)
     checkpoint_every: int = 0                # snapshot run state every K rounds (0 = off)
@@ -201,11 +216,20 @@ class RunConfig:
             raise ValueError(f"unknown edge grouping {self.edge_grouping!r}")
         if self.edge_latency_s < 0.0:
             raise ValueError("edge_latency_s must be non-negative")
-        if self.aggregation_executor not in ("serial", "process"):
+        if self.aggregation_executor not in ("serial", "process", "service"):
             raise ValueError(
                 f"unknown aggregation executor {self.aggregation_executor!r}")
         if self.aggregation_workers is not None and self.aggregation_workers < 1:
             raise ValueError("aggregation_workers must be positive")
+        if self.service_transport not in ("tcp", "socketpair"):
+            raise ValueError(
+                f"unknown service transport {self.service_transport!r}")
+        if self.service_retry_attempts < 1:
+            raise ValueError("service_retry_attempts must be positive")
+        if self.service_retry_delay_s < 0.0:
+            raise ValueError("service_retry_delay_s must be non-negative")
+        if self.service_timeout_s <= 0.0:
+            raise ValueError("service_timeout_s must be positive")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
@@ -349,6 +373,10 @@ class FederatedFineTuner(abc.ABC):
 
         self.telemetry = make_telemetry(self.config)
         self.server.tracer = self.telemetry.tracer
+        if hasattr(self._aggregation_pool, "bind_telemetry"):
+            # service pool: repro_service_* byte/connection counters land in
+            # the run's metrics registry (no-op registry when telemetry is off)
+            self._aggregation_pool.bind_telemetry(self.telemetry)
 
     # ------------------------------------------------------------------ hooks
     @abc.abstractmethod

@@ -76,16 +76,29 @@ _ROUND_DIR = re.compile(r"^round_(\d+)$")
 #: match the snapshot exactly, or the continuation would silently diverge
 #: from the uninterrupted run.  All of these are purely operational:
 #: snapshot cadence/location/retention, snapshot encoding (full vs delta,
-#: foreground vs background) and telemetry output cannot affect run results.
+#: foreground vs background), telemetry output, and the aggregation fold
+#: backend (serial / process pool / socket service are bit-identical,
+#: test-enforced — so a run checkpointed under one may resume under another)
+#: cannot affect run results.
 _RESUMABLE_CONFIG_FIELDS = frozenset(
     {"checkpoint_every", "checkpoint_dir", "checkpoint_keep_last",
      "checkpoint_delta_every", "checkpoint_async",
-     "telemetry", "telemetry_dir"})
+     "telemetry", "telemetry_dir",
+     "aggregation_executor", "aggregation_workers",
+     "service_transport", "service_retry_attempts",
+     "service_retry_delay_s", "service_timeout_s", "service_log_dir"})
 
 
 def _config_snapshot(config) -> Dict:
-    """The run-affecting slice of a ``RunConfig`` as a comparable dict."""
-    return {key: value for key, value in asdict(config).items()
+    """The run-affecting slice of a ``RunConfig`` as a comparable dict.
+
+    Applied to the *current* config at capture time and re-applied to the
+    *saved* snapshot at resume time, so checkpoints written before a field
+    joined ``_RESUMABLE_CONFIG_FIELDS`` stay loadable (the stale key is
+    filtered out of both sides of the comparison).
+    """
+    items = config.items() if isinstance(config, dict) else asdict(config).items()
+    return {key: value for key, value in items
             if key not in _RESUMABLE_CONFIG_FIELDS}
 
 
@@ -288,7 +301,7 @@ def restore_run_state(tuner, scheduler, checkpoint: Dict) -> Dict:
         raise ValueError(
             f"checkpoint was written under the {checkpoint['scheduler']!r} "
             f"scheduler; this run uses {scheduler.name!r}")
-    mismatched = _config_mismatches(checkpoint["run_config"],
+    mismatched = _config_mismatches(_config_snapshot(checkpoint["run_config"]),
                                     _config_snapshot(tuner.config))
     if mismatched:
         raise ValueError(
@@ -314,6 +327,12 @@ def restore_run_state(tuner, scheduler, checkpoint: Dict) -> Dict:
         topology.import_state(topology_state)
     tuner.import_run_state(checkpoint["tuner_extra"])
     scheduler.restore_state(checkpoint["scheduler_state"], tuner)
+    pool = getattr(tuner, "_aggregation_pool", None)
+    if hasattr(pool, "on_resume"):
+        # service backend: rebuild server-side accumulators to the snapshot
+        # (empty — snapshots land between rounds), dropping any half-round
+        # state a surviving server still holds from the killed run
+        pool.on_resume(checkpoint)
     return {
         "tracker": checkpoint["tracker"],
         "run_timeline": checkpoint["run_timeline"],

@@ -297,6 +297,16 @@ def make_aggregation_pool(config) -> Optional[AggregationPool]:
         return None
     if name == "process":
         return AggregationPool(max_workers=getattr(config, "aggregation_workers", None))
+    if name == "service":
+        from ..service import ServiceAggregationPool  # local: service pulls in asyncio
+
+        return ServiceAggregationPool(
+            getattr(config, "aggregation_workers", None),
+            transport=getattr(config, "service_transport", "tcp"),
+            retry_attempts=getattr(config, "service_retry_attempts", 3),
+            retry_delay_s=getattr(config, "service_retry_delay_s", 0.05),
+            timeout_s=getattr(config, "service_timeout_s", 30.0),
+            log_dir=getattr(config, "service_log_dir", None))
     raise ValueError(f"unknown aggregation executor {name!r}")
 
 

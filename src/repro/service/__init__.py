@@ -1,0 +1,56 @@
+"""Persistent socket-backed aggregation service (``backend="service"``).
+
+Instead of forking a process pool per fold call, this package keeps
+long-lived aggregator servers — one per shard/subtree — each holding its
+round accumulator *between* requests and speaking the CRC-framed
+:mod:`repro.comm` wire protocol over a real transport: ``socketpair`` for
+in-host tests, TCP for multi-process topologies.  The pieces:
+
+* :mod:`~repro.service.protocol` — the ``RWS1`` op/pickle envelope around
+  ordinary ``RWP1`` wire frames.
+* :mod:`~repro.service.server` — the asyncio accept loop
+  (:class:`AggregatorServer`), plus the two deployment wrappers:
+  :func:`spawn_server`/:class:`ServerProcess` (TCP child process) and
+  :class:`InProcessServer` (background-thread ``socketpair``).
+* :mod:`~repro.service.client` — :class:`ServiceClient`, the blocking
+  per-server connection with reconnect/retry/timeout and token-scoped
+  round replay.
+* :mod:`~repro.service.pool` — :class:`ServiceAggregationPool`, the
+  pool-shaped facade that plugs into the runtime as
+  ``RunConfig(aggregation_executor="service")``.
+
+The service fold plane is bit-identical to the pooled and serial planes
+(same worker fold functions, lossless fp64 interchange; test-enforced) and
+survives a hard-killed server mid-round by respawning and replaying the
+round — see the CI ``service-smoke`` lane and
+``scripts/service_smoke.py``.
+"""
+
+from .client import DEFAULT_CHUNK_FRAMES, ServiceClient, ServiceUnavailableError
+from .pool import ServiceAggregationPool
+from .protocol import (
+    OP_NAMES,
+    SERVICE_MAGIC,
+    ServiceError,
+    ServiceProtocolError,
+    decode_message,
+    encode_message,
+)
+from .server import AggregatorServer, InProcessServer, ServerProcess, spawn_server
+
+__all__ = [
+    "SERVICE_MAGIC",
+    "OP_NAMES",
+    "encode_message",
+    "decode_message",
+    "ServiceProtocolError",
+    "ServiceError",
+    "AggregatorServer",
+    "InProcessServer",
+    "ServerProcess",
+    "spawn_server",
+    "ServiceClient",
+    "ServiceUnavailableError",
+    "DEFAULT_CHUNK_FRAMES",
+    "ServiceAggregationPool",
+]

@@ -1,0 +1,103 @@
+"""Request/response message format of the aggregation service.
+
+One service message is one :mod:`repro.comm.stream` frame whose payload is::
+
+    b"RWS1" | op (u8) | pickled body
+
+``RWS1`` deliberately parallels the serialization layer's ``RWP1``: the
+*contents* that matter — the expert updates and folded states inside request
+bodies — travel as ordinary ``RWP1`` wire frames (lossless fp64, CRC-checked),
+exactly the bytes the process-pool fold plane ships today; the service layer
+only wraps them in an op byte and a pickled envelope for the RPC bookkeeping
+(round tokens, shard/node ids, strategy).
+
+Requests (client → server):
+
+* ``OP_PING`` — liveness + server identity.
+* ``OP_ADD`` — append one chunk of ``(frame, staleness)`` pairs to the round
+  accumulator named by ``token``.  A token the server has not seen starts a
+  fresh accumulator, so a reconnecting client replays its round under a new
+  token and any half-filled accumulator from the dead connection is simply
+  abandoned (and evicted at the next flush).
+* ``OP_FLUSH_NODE`` / ``OP_FLUSH_SHARD`` — fold the token's accumulated
+  frames with the request's strategy and return the node partials / per-key
+  shard aggregates, clearing the accumulator.  These call the *same* worker
+  fold functions as the process pool
+  (:func:`repro.runtime.executor._prefold_node_frames` /
+  :func:`~repro.runtime.executor._fold_shard_frames`), which is what makes
+  the service backend bit-identical to pooled and serial folds.
+* ``OP_RESET`` — drop every pending accumulator (checkpoint-resume hygiene).
+* ``OP_STATS`` — the server's lifetime counters.
+* ``OP_SHUTDOWN`` — graceful drain: the server acks, stops accepting, and
+  exits once open connections finish.
+
+Responses are ``OP_OK`` with a result body, or ``OP_ERR`` carrying the
+server-side error string (re-raised client-side as :class:`ServiceError`).
+
+Strategies cross the wire pre-pickled (via
+:func:`repro.federated.strategies.picklable_strategy`, the same reduction the
+process pool applies), so the envelope pickle itself stays cheap and the
+server needs no strategy registry of its own.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Tuple
+
+#: service envelope magic, version 1 (the inner payloads are RWP1 frames)
+SERVICE_MAGIC = b"RWS1"
+
+OP_PING = 1
+OP_ADD = 2
+OP_FLUSH_NODE = 3
+OP_FLUSH_SHARD = 4
+OP_RESET = 5
+OP_STATS = 6
+OP_SHUTDOWN = 7
+OP_OK = 64
+OP_ERR = 65
+
+OP_NAMES = {
+    OP_PING: "ping",
+    OP_ADD: "add",
+    OP_FLUSH_NODE: "flush_node",
+    OP_FLUSH_SHARD: "flush_shard",
+    OP_RESET: "reset",
+    OP_STATS: "stats",
+    OP_SHUTDOWN: "shutdown",
+    OP_OK: "ok",
+    OP_ERR: "err",
+}
+
+
+class ServiceProtocolError(ValueError):
+    """A service message is malformed (bad magic, unknown op, torn body)."""
+
+
+class ServiceError(RuntimeError):
+    """The server reported an error executing a request (``OP_ERR``)."""
+
+
+def encode_message(op: int, body: Any = None) -> bytes:
+    """One service message: magic, op byte, pickled body."""
+    if not 0 <= op <= 255:
+        raise ValueError(f"op must fit one byte, got {op}")
+    return SERVICE_MAGIC + bytes((op,)) + pickle.dumps(
+        body, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_message(frame: bytes) -> Tuple[int, Any]:
+    """Invert :func:`encode_message`; raises :class:`ServiceProtocolError`."""
+    header = len(SERVICE_MAGIC) + 1
+    if len(frame) < header or frame[:len(SERVICE_MAGIC)] != SERVICE_MAGIC:
+        raise ServiceProtocolError(
+            "not a service message (bad magic or truncated header)")
+    op = frame[len(SERVICE_MAGIC)]
+    if op not in OP_NAMES:
+        raise ServiceProtocolError(f"unknown service op {op}")
+    try:
+        body = pickle.loads(frame[header:])
+    except Exception as error:
+        raise ServiceProtocolError(f"undecodable message body: {error}") from error
+    return op, body

@@ -3,25 +3,38 @@
 Covers codec round-trips (exact for the cast codecs, bounded error for the
 quantized/sparsified ones), frame edge cases (empty updates, zero-size
 tensors, dtype preservation, corruption detection), streaming-vs-buffered
-aggregation equivalence on ``tiny_moe``, and an end-to-end wire round whose
-measured payload bytes cross-check the analytic ``ExchangePlan`` estimate.
+aggregation equivalence on ``tiny_moe``, an end-to-end wire round whose
+measured payload bytes cross-check the analytic ``ExchangePlan`` estimate,
+and the length-prefixed byte-stream transport (partial reads across frame
+boundaries, mid-frame connection loss, close idempotence).
 """
+
+import asyncio
+import socket
+import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.comm import (
+    MAX_FRAME_BYTES,
     Channel,
     ChannelStats,
+    FrameStream,
     PayloadCorruptedError,
     StreamingAggregator,
+    TruncatedFrameError,
     available_codecs,
     decode_state_dict,
     decode_update,
     encode_state_dict,
     encode_update,
     get_codec,
+    read_frame,
+    write_frame,
 )
+from repro.comm.stream import LENGTH_PREFIX
 from repro.data import make_gsm8k_like, partition_iid
 from repro.federated import (
     ExpertUpdate,
@@ -759,3 +772,115 @@ class TestMeasuredVsAnalytic:
         plan = ExchangePlan.for_codec(2, 2, get_codec("fp16"))
         assert plan.bytes_per_param == 2.0
         assert plan.payload_bytes(1000) == pytest.approx(4 * 1000 * 2.0)
+
+
+class TestStreamTransport:
+    """Length-prefixed framing over real sockets (repro.comm.stream)."""
+
+    @staticmethod
+    def _pair():
+        left, right = socket.socketpair()
+        return FrameStream(left), FrameStream(right)
+
+    def test_round_trip_including_empty_frame(self):
+        sender, receiver = self._pair()
+        for payload in (b"", b"x", b"frame" * 1000):
+            sender.send_frame(payload)
+            assert receiver.recv_frame() == payload
+        assert sender.frames_sent == receiver.frames_received == 3
+        # prefix bytes are counted on both ends
+        assert sender.bytes_sent == receiver.bytes_received
+        sender.close()
+        receiver.close()
+
+    def test_partial_reads_across_frame_boundaries(self):
+        """Frames reassemble whatever byte boundaries the transport picks."""
+        left, right = socket.socketpair()
+        receiver = FrameStream(right)
+        payloads = [b"alpha", b"", b"b" * 257, b"tail"]
+        blob = b"".join(LENGTH_PREFIX.pack(len(p)) + p for p in payloads)
+        # Dribble the whole conversation a few bytes at a time from a writer
+        # thread, splitting inside prefixes and payloads alike.
+        def dribble():
+            for start in range(0, len(blob), 3):
+                left.sendall(blob[start:start + 3])
+                time.sleep(0.0005)
+            left.close()
+
+        writer = threading.Thread(target=dribble)
+        writer.start()
+        try:
+            assert [receiver.recv_frame() for _ in payloads] == payloads
+            assert receiver.recv_frame() is None  # clean EOF at a boundary
+        finally:
+            writer.join()
+            receiver.close()
+
+    def test_short_write_then_close_is_truncation(self):
+        """A peer dying mid-frame surfaces as TruncatedFrameError — which is
+        both corrupt payload (dropped, like a CRC failure) and a dead
+        connection (caught by retry paths)."""
+        left, right = socket.socketpair()
+        receiver = FrameStream(right)
+        left.sendall(LENGTH_PREFIX.pack(100) + b"only-part-of-it")
+        left.close()
+        with pytest.raises(TruncatedFrameError) as excinfo:
+            receiver.recv_frame()
+        assert isinstance(excinfo.value, PayloadCorruptedError)
+        assert isinstance(excinfo.value, ConnectionError)
+        receiver.close()
+
+    def test_eof_inside_length_prefix_is_truncation(self):
+        left, right = socket.socketpair()
+        receiver = FrameStream(right)
+        left.sendall(b"\x05\x00")  # two of the four prefix bytes
+        left.close()
+        with pytest.raises(TruncatedFrameError):
+            receiver.recv_frame()
+        receiver.close()
+
+    def test_close_is_idempotent_and_thread_safe_against_reader(self):
+        sender, receiver = self._pair()
+        sender.close()
+        sender.close()  # double-close: no-op
+        assert sender.closed
+        with pytest.raises(ConnectionError):
+            sender.send_frame(b"late")
+        # the peer sees the close as clean EOF, then double-closes too
+        assert receiver.recv_frame() is None
+        receiver.close()
+        receiver.close()
+        with pytest.raises(ConnectionError):
+            receiver.recv_frame()
+
+    def test_oversized_frames_rejected_both_directions(self):
+        sender, receiver = self._pair()
+        small = FrameStream(sender._sock, max_frame_bytes=16)
+        with pytest.raises(PayloadCorruptedError):
+            small.send_frame(b"z" * 17)
+        # a lying prefix is refused before any allocation
+        sender._sock.sendall(LENGTH_PREFIX.pack(MAX_FRAME_BYTES + 1))
+        with pytest.raises(PayloadCorruptedError):
+            receiver.recv_frame()
+        sender.close()
+        receiver.close()
+
+    def test_asyncio_twins_interoperate_with_blocking_stream(self):
+        """write_frame/read_frame speak the same bytes as FrameStream."""
+
+        async def roundtrip():
+            server_side, client_side = socket.socketpair()
+            client = FrameStream(client_side)
+            reader, writer = await asyncio.open_connection(sock=server_side)
+            client.send_frame(b"ping")
+            assert await read_frame(reader) == b"ping"
+            await write_frame(writer, b"pong")
+            assert client.recv_frame() == b"pong"
+            # blocking side dies mid-frame -> asyncio side sees truncation
+            client._sock.sendall(LENGTH_PREFIX.pack(64) + b"half")
+            client.close()
+            with pytest.raises(TruncatedFrameError):
+                await read_frame(reader)
+            writer.close()
+
+        asyncio.run(roundtrip())

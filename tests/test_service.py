@@ -1,0 +1,432 @@
+"""The socket-backed aggregation service (repro.service).
+
+Covers the protocol envelope, bit-identity of service folds against the
+serial and pooled planes (shard matrix, tree pre-folds, and full runs on the
+sharded 3-tier topology — the acceptance invariant), kill+resume durability
+through live servers, failover (hard-killed server mid-round → respawn +
+round replay), the ``repro_service_*`` telemetry, and the pool machinery
+(config wiring, pickling, idempotent close, token hygiene).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.federated import (
+    AggregationTree,
+    ParameterServer,
+    RunConfig,
+    ShardedParameterServer,
+)
+from repro.obs import MetricsRegistry
+from repro.runtime import latest_checkpoint, make_aggregation_pool
+from repro.runtime.executor import frame_update
+from repro.service import (
+    OP_NAMES,
+    ServiceAggregationPool,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailableError,
+    decode_message,
+    encode_message,
+)
+from repro.service.protocol import OP_ADD, OP_OK, OP_PING, ServiceProtocolError
+from repro.service.server import _MAX_PENDING_TOKENS, InProcessServer
+from repro.comm.stream import FrameStream
+
+from test_parallel_aggregation import _assert_models_equal, _updates
+from test_runtime import ConstantMethod, build_federation
+from repro.models import MoETransformer
+
+STRATEGIES = [None, "fedavg", "trimmed_mean", "median", "staleness_fedavg"]
+
+#: the acceptance topology: expert shards at the root under a two-tier
+#: aggregation tree (participants → edges → super-edges → root)
+SHARDED_3TIER = dict(num_shards=2, edge_tiers=(2, 2), aggregation="trimmed_mean",
+                     participants_per_round=4)
+
+
+@pytest.fixture(scope="module")
+def service_pool():
+    """One socketpair-backed service plane shared by the fold matrix."""
+    pool = ServiceAggregationPool(2, transport="socketpair")
+    yield pool
+    pool.close()
+
+
+# ------------------------------------------------------------------- protocol
+class TestProtocol:
+    def test_round_trip_every_op(self):
+        for op in OP_NAMES:
+            body = {"op": OP_NAMES[op], "frames": [b"\x01\x02", 3]}
+            assert decode_message(encode_message(op, body)) == (op, body)
+
+    def test_bad_magic_rejected(self):
+        message = bytearray(encode_message(OP_PING, None))
+        message[:4] = b"RWP1"  # right family, wrong layer
+        with pytest.raises(ServiceProtocolError, match="magic"):
+            decode_message(bytes(message))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="op"):
+            encode_message(999, None)
+        message = bytearray(encode_message(OP_PING, None))
+        message[4] = 250
+        with pytest.raises(ServiceProtocolError, match="unknown service op"):
+            decode_message(bytes(message))
+
+    def test_torn_body_rejected(self):
+        message = encode_message(OP_ADD, {"token": "t", "frames": []})
+        with pytest.raises(ServiceProtocolError, match="undecodable"):
+            decode_message(message[: len(message) // 2 + 5])
+
+
+# ------------------------------------------------------- fold-plane identity
+class TestServiceFoldsBitEqualSerial:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_sharded_fold_matches_serial(self, tiny_config, service_pool, strategy):
+        serial_model = MoETransformer(tiny_config)
+        service_model = MoETransformer(tiny_config)
+        service_model.load_state_dict(serial_model.state_dict())
+        updates = _updates(serial_model,
+                           stalenesses=(strategy == "staleness_fedavg"))
+
+        serial = ShardedParameterServer(serial_model, num_shards=4)
+        serial_contrib = serial.aggregate(list(updates), strategy=strategy)
+        service = ShardedParameterServer(service_model, num_shards=4)
+        service.fold_pool = service_pool
+        service_contrib = service.aggregate(list(updates), strategy=strategy)
+
+        assert serial_contrib == service_contrib
+        assert serial.last_shard_contributions == service.last_shard_contributions
+        _assert_models_equal(serial_model, service_model)
+
+    @pytest.mark.parametrize("tiers", [(2,), (3, 2)])
+    def test_tree_prefold_matches_serial(self, tiny_config, service_pool, tiers):
+        serial_model = MoETransformer(tiny_config)
+        service_model = MoETransformer(tiny_config)
+        service_model.load_state_dict(serial_model.state_dict())
+        updates = _updates(serial_model, num_participants=8)
+
+        serial_tree = AggregationTree(tiers, latency_s=0.05)
+        serial_contrib, serial_stats = serial_tree.aggregate(
+            ParameterServer(serial_model), iter(updates), strategy="median")
+        service_tree = AggregationTree(tiers, latency_s=0.05)
+        service_contrib, service_stats = service_tree.aggregate(
+            ParameterServer(service_model), iter(updates), strategy="median",
+            pool=service_pool)
+
+        assert serial_contrib == service_contrib
+        assert serial_tree.last_tier_counts == service_tree.last_tier_counts
+        assert serial_stats.total_bytes == service_stats.total_bytes
+        _assert_models_equal(serial_model, service_model)
+
+    def test_streaming_fold_matches_serial(self, tiny_config, service_pool):
+        serial_model = MoETransformer(tiny_config)
+        service_model = MoETransformer(tiny_config)
+        service_model.load_state_dict(serial_model.state_dict())
+        updates = _updates(serial_model)
+
+        ShardedParameterServer(serial_model, num_shards=3).aggregate(
+            iter(updates), streaming=True)
+        service = ShardedParameterServer(service_model, num_shards=3)
+        service.fold_pool = service_pool
+        service.aggregate(iter(updates), streaming=True)
+        _assert_models_equal(serial_model, service_model)
+
+    def test_server_side_error_surfaces_as_service_error(self, tiny_config,
+                                                         service_pool):
+        model = MoETransformer(tiny_config)
+        updates = [u for u in _updates(model, num_participants=2)]
+        for update in updates:
+            update.weight = 0.0
+        service = ShardedParameterServer(model, num_shards=2)
+        service.fold_pool = service_pool
+        with pytest.raises(ServiceError, match="non-positive total weight"):
+            service.aggregate(list(updates), streaming=True)
+
+
+# ------------------------------------------------------------------ run level
+class TestServiceRuns:
+    def _run(self, vocab, tiny_config, **config_kwargs):
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **config_kwargs)
+        tuner = ConstantMethod(server, participants, test, config=config)
+        result = tuner.run(2)
+        return result, tuner
+
+    def test_service_run_matches_serial_and_pooled(self, vocab, tiny_config):
+        """Acceptance: pooled and service backends are bit-identical to serial
+        on the sharded 3-tier topology."""
+        serial_result, serial_tuner = self._run(vocab, tiny_config,
+                                                **SHARDED_3TIER)
+        pooled_result, pooled_tuner = self._run(
+            vocab, tiny_config, aggregation_executor="process",
+            aggregation_workers=2, **SHARDED_3TIER)
+        service_result, service_tuner = self._run(
+            vocab, tiny_config, aggregation_executor="service",
+            aggregation_workers=2, service_transport="socketpair",
+            **SHARDED_3TIER)
+        for a, b, c in zip(serial_result.rounds, pooled_result.rounds,
+                           service_result.rounds):
+            assert a.train_loss == b.train_loss == c.train_loss
+            assert a.metric_value == b.metric_value == c.metric_value
+            assert a.simulated_time == b.simulated_time == c.simulated_time
+            assert a.edge_bytes == b.edge_bytes == c.edge_bytes
+            assert a.tier_bytes == b.tier_bytes == c.tier_bytes
+        _assert_models_equal(serial_tuner.server.global_model,
+                             service_tuner.server.global_model)
+        _assert_models_equal(pooled_tuner.server.global_model,
+                             service_tuner.server.global_model)
+
+    def test_service_run_over_tcp_matches_serial(self, vocab, tiny_config):
+        """The same invariant through real spawned TCP servers."""
+        knobs = dict(num_shards=2, edge_tiers=(2,), participants_per_round=3)
+        serial_result, serial_tuner = self._run(vocab, tiny_config, **knobs)
+        service_result, service_tuner = self._run(
+            vocab, tiny_config, aggregation_executor="service",
+            aggregation_workers=2, service_transport="tcp", **knobs)
+        for a, b in zip(serial_result.rounds, service_result.rounds):
+            assert a.train_loss == b.train_loss
+            assert a.metric_value == b.metric_value
+        _assert_models_equal(serial_tuner.server.global_model,
+                             service_tuner.server.global_model)
+
+    def test_service_resume_matches_uninterrupted(self, vocab, tiny_config,
+                                                  tmp_path):
+        """Kill+resume through live servers stays bit-identical."""
+        knobs = dict(aggregation_executor="service",
+                     service_transport="socketpair", aggregation_workers=2,
+                     **SHARDED_3TIER)
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **knobs)
+        expected_tuner = ConstantMethod(server, participants, test, config=config)
+        expected = expected_tuner.run(4)
+
+        durable = dict(knobs, checkpoint_every=2, checkpoint_dir=str(tmp_path))
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **durable)
+        ConstantMethod(server, participants, test, config=config).run(2)
+        snapshot = latest_checkpoint(str(tmp_path))
+        assert snapshot is not None
+
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **durable)
+        resumed_tuner = ConstantMethod(server, participants, test, config=config)
+        resumed = resumed_tuner.run(4, resume_from=snapshot)
+
+        assert resumed.tracker.as_series() == expected.tracker.as_series()
+        for got, want in zip(resumed.rounds, expected.rounds):
+            assert got.train_loss == want.train_loss
+            assert got.metric_value == want.metric_value
+            assert got.tier_bytes == want.tier_bytes
+        _assert_models_equal(resumed_tuner.server.global_model,
+                             expected_tuner.server.global_model)
+
+    def test_backend_is_resumable_across_checkpoints(self, vocab, tiny_config,
+                                                     tmp_path):
+        """A run checkpointed under one fold backend resumes under another:
+        the backends are bit-identical, so the executor fields are in the
+        resumable set and must not trip the config-mismatch guard."""
+        knobs = dict(num_shards=2, edge_tiers=(2,), participants_per_round=3)
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **knobs)
+        expected_tuner = ConstantMethod(server, participants, test, config=config)
+        expected = expected_tuner.run(4)
+
+        durable = dict(knobs, checkpoint_every=2, checkpoint_dir=str(tmp_path))
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **durable)  # checkpointed under serial
+        ConstantMethod(server, participants, test, config=config).run(2)
+        snapshot = latest_checkpoint(str(tmp_path))
+
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, aggregation_executor="service",
+            service_transport="socketpair", aggregation_workers=2, **durable)
+        resumed_tuner = ConstantMethod(server, participants, test, config=config)
+        resumed = resumed_tuner.run(4, resume_from=snapshot)
+
+        for got, want in zip(resumed.rounds, expected.rounds):
+            assert got.train_loss == want.train_loss
+            assert got.metric_value == want.metric_value
+        _assert_models_equal(resumed_tuner.server.global_model,
+                             expected_tuner.server.global_model)
+
+    def test_on_resume_drops_orphaned_half_round_state(self, tiny_config):
+        """A surviving server still holding a killed run's half-accumulated
+        round is reset by the resume hook, so refolds start clean."""
+        pool = ServiceAggregationPool(1, transport="socketpair")
+        try:
+            model = MoETransformer(tiny_config)
+            framed = [frame_update(u) for u in _updates(model, num_participants=2)]
+            pool._ensure_started()
+            client = pool._clients[0]
+            client.call(OP_ADD, {"token": "killed-run", "frames": framed})
+            assert pool.server_stats()[0]["pending_tokens"] == 1
+            pool.on_resume({})
+            assert pool.server_stats()[0]["pending_tokens"] == 0
+        finally:
+            pool.close()
+
+
+# ------------------------------------------------------------------- failover
+class TestServiceFailover:
+    def test_killed_server_mid_round_heals_by_respawn_and_replay(self, tiny_config):
+        registry = MetricsRegistry()
+
+        class FakeTelemetry:
+            pass
+
+        telemetry = FakeTelemetry()
+        telemetry.registry = registry
+        pool = ServiceAggregationPool(1, transport="tcp", retry_delay_s=0.01)
+        pool.bind_telemetry(telemetry)
+        try:
+            model = MoETransformer(tiny_config)
+            framed = [frame_update(u) for u in _updates(model, num_participants=3)]
+            expected = pool.fold_shards(None, False, [(0, framed)])
+            pool._servers[0].kill()
+            healed = pool.fold_shards(None, False, [(0, framed)])
+            assert healed == expected
+            assert registry.counter_value("repro_service_respawns_total",
+                                          server="server0") == 1
+            assert registry.counter_value("repro_service_reconnects_total",
+                                          server="server0") >= 1
+            assert registry.counter_value("repro_service_retried_rounds_total",
+                                          server="server0") == 1
+        finally:
+            pool.close()
+
+    def test_unreachable_server_exhausts_retries(self):
+        def refuse():
+            raise ConnectionRefusedError("nobody home")
+
+        client = ServiceClient(refuse, name="ghost", retry_attempts=3,
+                               retry_delay_s=0.0)
+        with pytest.raises(ServiceUnavailableError, match="3 attempt"):
+            client.ping()
+        assert client.stats["reconnects"] == 2  # attempts after the first
+
+    def test_abandoned_tokens_evicted_at_flush(self, tiny_config):
+        """A flaky client's orphaned round accumulators cannot grow a server
+        without bound: flushes evict beyond the retention cap."""
+        server = InProcessServer(name="evict")
+        client = ServiceClient(lambda: FrameStream(server.connect()),
+                               name="evict")
+        try:
+            model = MoETransformer(tiny_config)
+            framed = [frame_update(u) for u in _updates(model, num_participants=1)]
+            for index in range(_MAX_PENDING_TOKENS + 10):
+                client.call(OP_ADD, {"token": f"orphan-{index}",
+                                     "frames": framed[:1]})
+            result, _ = client.fold_shard(None, False, 0, framed)
+            assert result  # the folded round is unaffected by the eviction
+            assert client.server_stats()["pending_tokens"] <= _MAX_PENDING_TOKENS
+        finally:
+            client.shutdown()
+            server.close()
+
+
+# ------------------------------------------------------------------ telemetry
+class TestServiceTelemetry:
+    def test_run_emits_service_metrics_and_fold_spans(self, vocab, tiny_config,
+                                                      tmp_path):
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, aggregation_executor="service",
+            service_transport="socketpair", aggregation_workers=2,
+            telemetry=True, telemetry_dir=str(tmp_path), **SHARDED_3TIER)
+        tuner = ConstantMethod(server, participants, test, config=config)
+        tuner.run(2)
+        registry = tuner.telemetry.registry
+        sent = sum(counter["value"] for counter in registry.snapshot()["counters"]
+                   if counter["name"] == "repro_service_bytes_sent_total")
+        assert sent > 0
+        assert registry.counter_value("repro_service_folds_total",
+                                      kind="shard") > 0
+        assert registry.counter_value("repro_service_folds_total",
+                                      kind="node") > 0
+        assert registry.counter_value("repro_service_connections_total",
+                                      server="server0") >= 1
+        events = (tmp_path / "trace.jsonl").read_text()
+        assert '"transport":"service"' in events
+        assert "fold_shard" in events and "prefold_node" in events
+
+
+# ------------------------------------------------------------------ machinery
+class TestServiceMachinery:
+    def test_make_aggregation_pool_service_branch(self):
+        pool = make_aggregation_pool(RunConfig(
+            aggregation_executor="service", aggregation_workers=3,
+            service_transport="socketpair", service_retry_attempts=5,
+            service_retry_delay_s=0.2, service_timeout_s=7.0))
+        assert isinstance(pool, ServiceAggregationPool)
+        assert pool.num_servers == 3
+        assert pool.transport == "socketpair"
+        assert pool.retry_attempts == 5
+        assert pool.retry_delay_s == 0.2
+        assert pool.timeout_s == 7.0
+        pool.close()  # never started: close is a no-op
+
+    def test_config_validates_service_knobs(self):
+        with pytest.raises(ValueError, match="service transport"):
+            RunConfig(service_transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="retry_attempts"):
+            RunConfig(service_retry_attempts=0)
+        with pytest.raises(ValueError, match="retry_delay"):
+            RunConfig(service_retry_delay_s=-1.0)
+        with pytest.raises(ValueError, match="timeout"):
+            RunConfig(service_timeout_s=0.0)
+        with pytest.raises(ValueError, match="aggregation executor"):
+            RunConfig(aggregation_executor="carrier-pigeon")
+
+    def test_pool_validates_construction(self):
+        with pytest.raises(ValueError, match="transport"):
+            ServiceAggregationPool(transport="smoke-signals")
+        with pytest.raises(ValueError, match="addresses"):
+            ServiceAggregationPool(transport="socketpair",
+                                   addresses=[("localhost", 1)])
+        with pytest.raises(ValueError, match="at least one"):
+            ServiceAggregationPool(addresses=[])
+        with pytest.raises(ValueError, match="disagrees"):
+            ServiceAggregationPool(3, addresses=[("localhost", 1)])
+        with pytest.raises(ValueError, match="positive"):
+            ServiceAggregationPool(0)
+        assert ServiceAggregationPool(
+            addresses=[("h", 1), ("h", 2)]).num_servers == 2
+
+    def test_pool_pickles_resource_less(self, tiny_config):
+        pool = ServiceAggregationPool(1, transport="socketpair")
+        try:
+            model = MoETransformer(tiny_config)
+            framed = [frame_update(u) for u in _updates(model, num_participants=2)]
+            pool.fold_shards(None, False, [(0, framed)])
+            clone = pickle.loads(pickle.dumps(pool))
+            assert clone._clients == [] and clone._servers == []
+            assert clone.num_servers == 1
+            assert clone.transport == "socketpair"
+        finally:
+            pool.close()
+
+    def test_close_idempotent_and_lazily_restarts(self, tiny_config):
+        pool = ServiceAggregationPool(1, transport="socketpair")
+        model = MoETransformer(tiny_config)
+        framed = [frame_update(u) for u in _updates(model, num_participants=2)]
+        first = pool.fold_shards(None, False, [(0, framed)])
+        pool.close()
+        pool.close()
+        again = pool.fold_shards(None, False, [(0, framed)])  # fresh servers
+        assert again == first
+        pool.close()
+
+    def test_results_keep_job_order_across_servers(self, tiny_config,
+                                                   service_pool):
+        model = MoETransformer(tiny_config)
+        framed = [frame_update(u) for u in _updates(model, num_participants=2)]
+        jobs = [(shard, framed) for shard in (5, 2, 9, 0)]
+        results = service_pool.fold_shards(None, False, jobs)
+        assert [shard for shard, _ in results] == [5, 2, 9, 0]
+        folded = results[0][1]
+        assert all(result == folded for _, result in results)
