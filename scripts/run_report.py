@@ -8,6 +8,9 @@ telemetry_dir=...)`` and prints:
   select/train/transfer/fold/checkpoint wall-time breakdown (the trace-level
   analogue of the paper's overhead-breakdown figure);
 * a **per-tier** table — backhaul bytes/payloads per aggregation tier;
+* an **aggregation service** table — ``repro_service_*`` fold-plane counters
+  (per-tier service folds, per-codec wire frame bytes, reference bytes,
+  transport totals), for runs with ``aggregation_executor="service"``;
 * run-wide **totals** and a per-span-**category** summary.
 
 Usage::
@@ -32,6 +35,7 @@ from repro.obs import (  # noqa: E402
     format_table,
     load_events,
     round_table,
+    service_table,
     tier_table,
     totals_table,
 )
@@ -39,6 +43,7 @@ from repro.obs import (  # noqa: E402
 TABLES = {
     "round": ("Per-round breakdown", round_table),
     "tier": ("Per-tier backhaul", tier_table),
+    "service": ("Aggregation service", service_table),
     "totals": ("Run totals", totals_table),
     "category": ("Span categories", category_table),
 }
@@ -56,7 +61,7 @@ def resolve_trace_path(path: str) -> str:
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("trace", help="telemetry directory or trace.jsonl path")
-    parser.add_argument("--tables", default="round,tier,totals,category",
+    parser.add_argument("--tables", default="round,tier,service,totals,category",
                         help="comma-separated subset of: "
                              + ", ".join(TABLES))
     args = parser.parse_args(argv)

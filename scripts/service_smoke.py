@@ -1,25 +1,34 @@
 """CI service-smoke: run the fold plane through live aggregator servers.
 
-Drives a short federated run over a 2-tier aggregation topology (participants
-→ 2 edge aggregators → root, 2 expert shards) with the whole fold plane behind
+Drives a short federated run over an aggregation-tree topology (participants
+→ edge aggregators → root, 2 expert shards) with the whole fold plane behind
 ``aggregation_executor="service"`` — persistent :mod:`repro.service` servers
 speaking the CRC-framed repro.comm protocol over TCP (one child process per
 server) or an in-process socketpair.  The run's results must be bit-identical
 to the same run folded serially in-process.
 
+``--edge-tiers`` sets the aggregator-tier widths (default ``2``: one edge
+tier).  ``--edge-tiers 2,2`` adds an *inner* tier, whose partial-of-partials
+folds also route through the servers — the smoke then additionally requires
+``repro_service_tier_folds_total`` counters for every tier, proving the
+inner-tier routing actually happened over the wire.
+
 ``--kill-server`` additionally hard-kills one aggregator server (SIGKILL on
 the child process) at the start of the final round, while the run is live.
 The next fold request to that server finds a dead connection; the client
 reconnects — respawning the server on a fresh port — and replays the whole
-round under a fresh token.  The smoke asserts the run still completes, the
-results are still bit-identical to the serial reference, and the respawn /
-reconnect / replayed-round counters all fired.
+round under a fresh token.  Combined with ``--edge-tiers 2,2`` the kill lands
+on a server that owns inner-tier folds, so the heal path covers a mid-tree
+death.  The smoke asserts the run still completes, the results are still
+bit-identical to the serial reference, and the respawn / reconnect /
+replayed-round counters all fired.
 
 Per-server logs land under ``<workdir>/logs`` (``--log-dir`` overrides); the
 CI ``service-smoke`` job uploads them as an artifact when the smoke fails.
 Exit status 0 on success, 1 on any mismatch::
 
-    python scripts/service_smoke.py --kill-server --workdir service-smoke
+    python scripts/service_smoke.py --kill-server --edge-tiers 2,2 \\
+        --workdir service-smoke
 """
 
 from __future__ import annotations
@@ -58,15 +67,17 @@ NUM_ROUNDS = 3
 NUM_SERVERS = 2
 KILLED_SERVER = "server0"  # pool._server_name(0): the kill target
 
-#: the 2-tier aggregation topology (participants → 2 edges → root, 2 shards)
+#: the base aggregation topology (participants → edge tiers → root, 2 shards);
+#: the edge-tier widths come from ``--edge-tiers``
 TOPOLOGY = dict(
-    num_shards=2, num_edge_aggregators=2,
+    num_shards=2,
     aggregation="trimmed_mean", trim_ratio=0.2,
     participants_per_round=4,
 )
 
 
-def build_tuner(backend: str, transport: str, log_dir: str | None = None,
+def build_tuner(backend: str, transport: str, edge_tiers: tuple[int, ...],
+                log_dir: str | None = None,
                 trace_dir: str | None = None, kill_server: bool = False):
     vocab = Vocabulary(size=96, num_topics=4)
     config = tiny_moe(vocab_size=vocab.size)
@@ -87,6 +98,7 @@ def build_tuner(backend: str, transport: str, log_dir: str | None = None,
         service_log_dir=log_dir,
         telemetry=trace_dir is not None,
         telemetry_dir=trace_dir,
+        edge_tiers=edge_tiers,
         **TOPOLOGY,
     )
     server = ParameterServer(MoETransformer(config))
@@ -115,12 +127,20 @@ def build_tuner(backend: str, transport: str, log_dir: str | None = None,
     return KillsAServerMidRun(server, participants, test, config=run_config)
 
 
-def check_service_counters(registry, killed: bool) -> list[str]:
+def check_service_counters(registry, killed: bool,
+                           edge_tiers: tuple[int, ...]) -> list[str]:
     """Assert the repro_service_* counters recorded the run (and the kill)."""
     failures = []
     folds = registry.counter_value("repro_service_folds_total", kind="shard")
     if not folds:
         failures.append("no repro_service_folds_total{kind=shard} recorded")
+    # One tier-folds counter per aggregator tier: tier 0 is the leaf fan-in,
+    # every deeper tier proves inner-tier partials routed through the servers.
+    for tier in range(len(edge_tiers)):
+        if not registry.counter_value("repro_service_tier_folds_total",
+                                      tier=tier):
+            failures.append(f"no repro_service_tier_folds_total{{tier={tier}}}"
+                            " — inner-tier folds never reached the service?")
     for name in ("server0", "server1"):
         if not registry.counter_value("repro_service_bytes_sent_total", server=name):
             failures.append(f"no bytes sent to {name} — did it fold anything?")
@@ -155,6 +175,10 @@ def main() -> int:
                         help="per-server log directory (default <workdir>/logs)")
     parser.add_argument("--transport", choices=["tcp", "socketpair"], default="tcp",
                         help="service transport (CI exercises tcp)")
+    parser.add_argument("--edge-tiers", default="2",
+                        help="comma-separated aggregator-tier widths; depth "
+                             ">= 2 (e.g. '2,2') routes inner-tier folds "
+                             "through the servers too")
     parser.add_argument("--kill-server", action="store_true",
                         help="hard-kill one aggregator server at the start of "
                              "the final round and require the run to heal")
@@ -163,6 +187,11 @@ def main() -> int:
     if args.kill_server and args.transport != "tcp":
         parser.error("--kill-server needs --transport tcp (only spawned "
                      "server processes can be hard-killed and respawned)")
+    try:
+        edge_tiers = tuple(int(width) for width in args.edge_tiers.split(","))
+    except ValueError:
+        parser.error(f"--edge-tiers {args.edge_tiers!r} is not a "
+                     "comma-separated list of widths")
 
     log_dir = args.log_dir or os.path.join(args.workdir, "logs")
     trace_dir = os.path.join(args.workdir, "trace")
@@ -170,14 +199,17 @@ def main() -> int:
         if os.path.isdir(path):
             shutil.rmtree(path)  # stale logs/traces would mask a failure
 
-    print(f"[1/2] reference: serial fold plane, {NUM_ROUNDS} rounds", flush=True)
-    reference_tuner = build_tuner("serial", args.transport)
+    tiers_note = "x".join(str(width) for width in edge_tiers)
+    print(f"[1/2] reference: serial fold plane, {NUM_ROUNDS} rounds, "
+          f"edge tiers {tiers_note}", flush=True)
+    reference_tuner = build_tuner("serial", args.transport, edge_tiers)
     reference = reference_tuner.run(num_rounds=NUM_ROUNDS)
 
     kill_note = ", hard-killing server0 in the last round" if args.kill_server else ""
     print(f"[2/2] service: {NUM_SERVERS} {args.transport} aggregator "
           f"servers{kill_note}", flush=True)
-    service_tuner = build_tuner("service", args.transport, log_dir=log_dir,
+    service_tuner = build_tuner("service", args.transport, edge_tiers,
+                                log_dir=log_dir,
                                 trace_dir=trace_dir, kill_server=args.kill_server)
     service = service_tuner.run(num_rounds=NUM_ROUNDS)
 
@@ -194,7 +226,8 @@ def main() -> int:
             failures.append(f"model parameter {tensor_name} differs")
 
     failures += check_service_counters(service_tuner.telemetry.registry,
-                                       killed=args.kill_server)
+                                       killed=args.kill_server,
+                                       edge_tiers=edge_tiers)
     if args.transport == "tcp":
         failures += check_server_logs(log_dir)
 

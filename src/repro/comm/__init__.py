@@ -34,6 +34,7 @@ from .serialization import (
     decode_update,
     encode_state_dict,
     encode_update,
+    frame_codec_name,
 )
 from .stream import (
     MAX_FRAME_BYTES,
@@ -61,6 +62,7 @@ __all__ = [
     "decode_update",
     "encode_state_dict",
     "decode_state_dict",
+    "frame_codec_name",
     "FrameStream",
     "TruncatedFrameError",
     "MAX_FRAME_BYTES",

@@ -137,6 +137,26 @@ def _codec_from(reader: _Reader) -> Codec:
     return get_codec(reader.take(codec_len).decode("ascii"))
 
 
+def frame_codec_name(data: bytes) -> str:
+    """The codec tag an ``RWP1`` frame declares, read from the header alone.
+
+    Cheap (no CRC pass, no tensor decode) — this is how the service plane
+    validates/labels frames without unpacking them.  Raises ``ValueError`` on
+    anything that is not an ``RWP1`` frame header; the returned name is *not*
+    checked against the codec registry (callers decide how to fail).
+    """
+    header = len(MAGIC) + 2  # magic, kind, codec_len
+    if len(data) < header or data[:len(MAGIC)] != MAGIC:
+        raise ValueError("not an RWP1 frame (bad magic or truncated header)")
+    codec_len = data[len(MAGIC) + 1]
+    if len(data) < header + codec_len:
+        raise ValueError("RWP1 frame truncated inside its codec tag")
+    try:
+        return data[header:header + codec_len].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise ValueError(f"undecodable RWP1 codec tag: {exc}") from exc
+
+
 def encode_update(update, codec: Codec,
                   reference: Optional[Dict[str, np.ndarray]] = None) -> bytes:
     """Serialize one :class:`~repro.federated.aggregation.ExpertUpdate`."""

@@ -8,8 +8,8 @@ expert and writes the result back into the global model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,20 @@ class ExpertUpdate:
     #: does not travel in wire frames (the asynchronous scheduler discounts
     #: weights before transmission, so the wire format stays stable).
     staleness: int = 0
+    #: the exact wire frame this update was decoded from (``transport="wire"``
+    #: deliveries only) — downstream fold dispatch forwards it verbatim instead
+    #: of re-encoding the decoded state as fp64, which is bit-identical by
+    #: construction (``state`` *is* the deterministic decode of these bytes).
+    #: In-memory provenance, never re-serialized itself: ``repr``/``compare``
+    #: exclude it so update equality and logs are unchanged.
+    wire_frame: Optional[bytes] = field(default=None, repr=False, compare=False)
+    #: codec name of :attr:`wire_frame` (``None`` when no frame is carried)
+    wire_codec: Optional[str] = field(default=None, repr=False, compare=False)
+    #: the reference state :attr:`wire_frame` was decoded against, for
+    #: ``needs_reference`` codecs (top-k/sparse deltas); forwarded alongside
+    #: the frame so a remote decoder reconstructs the identical state
+    wire_reference: Optional[Dict[str, np.ndarray]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def key(self) -> ExpertKey:

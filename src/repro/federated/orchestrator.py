@@ -137,6 +137,19 @@ class RunConfig:
     #: write one append-mode log file per spawned TCP server under this
     #: directory (``scripts/service_smoke.py`` uploads it on CI failure)
     service_log_dir: Optional[str] = None
+    #: codec of fold payloads on the service wire: "fp64" re-encodes every
+    #: update as a lossless fp64 frame (the default); "wire" forwards the
+    #: round's *original* codec frames verbatim — the servers decode exactly
+    #: the bytes the serial path decoded, so results stay bit-identical while
+    #: compressed rounds (e.g. ``codec="topk:0.25:int4"``) ship a fraction of
+    #: the fp64 bytes (each delta-codec key's fp64 reference ships once per
+    #: fold job; raw in-memory partials still travel as fp64)
+    service_codec: str = "fp64"
+    #: OP_ADD chunks in flight per connection before the client waits for an
+    #: acknowledgement (1 = the fully synchronous legacy request/response;
+    #: larger windows pipeline the round's uploads, hiding per-request RTT —
+    #: reconnect-and-replay-the-whole-round absorbs window loss unchanged)
+    service_window: int = 8
 
     # --- durability (repro.runtime.checkpoint)
     checkpoint_every: int = 0                # snapshot run state every K rounds (0 = off)
@@ -230,6 +243,12 @@ class RunConfig:
             raise ValueError("service_retry_delay_s must be non-negative")
         if self.service_timeout_s <= 0.0:
             raise ValueError("service_timeout_s must be positive")
+        if self.service_codec not in ("fp64", "wire"):
+            raise ValueError(
+                f"unknown service codec {self.service_codec!r} "
+                "(expected 'fp64' or 'wire')")
+        if self.service_window < 1:
+            raise ValueError("service_window must be positive")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be non-negative")
         if self.checkpoint_every > 0 and not self.checkpoint_dir:
@@ -510,9 +529,18 @@ class FederatedFineTuner(abc.ABC):
                 stats.record(record)
                 if record.delivered:
                     try:
-                        delivered.append(decode_update(record.payload, reference=reference))
+                        arrived = decode_update(record.payload, reference=reference)
                     except PayloadCorruptedError:
                         stats.decode_failures += 1
+                        continue
+                    # Carry the delivered bytes (corrupted-but-decodable
+                    # payloads included: these bytes are what decoded) so the
+                    # pooled/service fold dispatch can forward the original
+                    # frame instead of re-encoding the state as fp64.
+                    arrived.wire_frame = bytes(record.payload)
+                    arrived.wire_codec = codec.name
+                    arrived.wire_reference = reference
+                    delivered.append(arrived)
             span.set(sim_duration=stats.seconds, bytes=stats.total_bytes,
                      payloads=stats.payloads, lost=stats.lost,
                      corrupted=stats.corrupted)

@@ -146,10 +146,16 @@ class ParameterServer:
         from ..comm import decode_state_dict
         from ..runtime.executor import frame_update
 
+        collect_refs = bool(getattr(self.fold_pool, "wire_frames", False))
         shard_frames: List[List] = [[] for _ in range(self.num_shards)]
+        shard_refs: List[Dict] = [{} for _ in range(self.num_shards)]
         for update in updates:
-            shard_frames[self.shard_of(update.key)].append(frame_update(update))
-        jobs = [(shard, framed) for shard, framed in enumerate(shard_frames) if framed]
+            shard = self.shard_of(update.key)
+            shard_frames[shard].append(frame_update(
+                update, references=shard_refs[shard] if collect_refs else None))
+        jobs = [(shard, framed, shard_refs[shard]) if shard_refs[shard]
+                else (shard, framed)
+                for shard, framed in enumerate(shard_frames) if framed]
         contributions: Dict[ExpertKey, int] = {}
         folded = self.fold_pool.fold_shards(strategy, streaming, jobs,
                                             timed=self.tracer.enabled)

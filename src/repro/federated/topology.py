@@ -71,6 +71,15 @@ EDGE_CODEC = "fp64"
 _TIER_ID_STRIDE = 1000
 
 
+def tier_of_pseudo_id(pseudo_id: int) -> int:
+    """Invert :meth:`AggregationTree.pseudo_id` to its tier index.
+
+    Non-negative (real participant) ids map to tier 0, so fold-plane record
+    labelling stays sane on direct/benchmark calls that never built a tree.
+    """
+    return max(0, -int(pseudo_id) - 1) // _TIER_ID_STRIDE
+
+
 # ------------------------------------------------------------------- grouping
 class GroupingPolicy(abc.ABC):
     """Maps a participant id to its tier-0 aggregator node."""
@@ -270,27 +279,31 @@ class AggregationTree:
         return aggregator.partials(self.pseudo_id(0, edge))
 
     def _send(self, tier: int, node: int, partial: ExpertUpdate,
-              frame: Optional[bytes], codec) -> Optional[ExpertUpdate]:
+              frame: Optional[bytes], codec
+              ) -> Tuple[Optional[ExpertUpdate], Optional[bytes]]:
         """Ship one partial over its node's channel; return what arrived.
 
-        Pristine frames skip the (lossless fp64) re-decode: the in-memory
-        partial is byte-for-byte what a decode would reconstruct.  A
-        corrupted frame must fail its CRC and be dropped, never fold — the
-        same contract as the participant hop.
+        Returns ``(delivered update, delivered frame bytes)`` — both ``None``
+        when the payload was lost or failed its CRC.  Pristine frames skip
+        the (lossless fp64) re-decode: the in-memory partial is byte-for-byte
+        what a decode would reconstruct.  A corrupted frame must fail its CRC
+        and be dropped, never fold — the same contract as the participant
+        hop; a corrupted-but-decodable payload returns the *received* bytes,
+        which are what any downstream re-decode must see.
         """
         if frame is None:
             frame = encode_update(partial, codec)
         record = self.tier_channels[tier][node].send(frame, direction="up")
         self.last_tier_stats[tier].record(record)
         if not record.delivered:
-            return None
+            return None, None
         if record.corrupted:
             try:
-                return decode_update(record.payload)
+                return decode_update(record.payload), bytes(record.payload)
             except PayloadCorruptedError:
                 self.last_tier_stats[tier].decode_failures += 1
-                return None
-        return partial
+                return None, None
+        return partial, frame
 
     def _fold_leaf_tier(self, updates: Iterable[ExpertUpdate], strategy,
                         pool, codec, tracer=NULL_TRACER
@@ -319,18 +332,29 @@ class AggregationTree:
                         partials[node] = [(partial, None)
                                           for partial in self.partial_updates(node, aggregator)]
             return partials
-        # Pooled pre-fold: the updates cross the process boundary as lossless
-        # wire frames (plus their in-memory staleness, which does not travel
-        # in frames) and each node's worker returns its partial frames.
+        # Pooled pre-fold: the updates cross the process boundary as wire
+        # frames (plus their in-memory staleness, which does not travel in
+        # frames) and each node's worker returns its partial frames.  Updates
+        # that arrived as wire frames forward those bytes verbatim; with a
+        # compressed-wire pool (``pool.wire_frames``) even delta-codec frames
+        # forward, alongside one fp64-framed reference per expert key per
+        # node (see :func:`~repro.runtime.executor.frame_update`).
         from ..runtime.executor import frame_update
 
+        collect_refs = bool(getattr(pool, "wire_frames", False))
         framed: Dict[int, List[Tuple[bytes, int]]] = {}
+        references: Dict[int, Dict] = {}
         for update in updates:
             node = self.edge_of(update.participant_id)
-            framed.setdefault(node, []).append(frame_update(update, codec))
+            node_refs = references.setdefault(node, {}) if collect_refs else None
+            framed.setdefault(node, []).append(
+                frame_update(update, references=node_refs))
             self.last_tier_counts[0][node] += 1
-        jobs = [(node, self.pseudo_id(0, node), frames)
-                for node, frames in framed.items()]
+        jobs = [
+            (node, self.pseudo_id(0, node), frames, references[node])
+            if references.get(node) else (node, self.pseudo_id(0, node), frames)
+            for node, frames in framed.items()
+        ]
         folded = pool.prefold_nodes(strategy, jobs, timed=tracer.enabled)
         for record in pool.last_span_records:
             tracer.ingest(record)
@@ -365,7 +389,8 @@ class AggregationTree:
             tracer = NULL_TRACER
         codec = get_codec(EDGE_CODEC)
         current = self._fold_leaf_tier(updates, strategy, pool, codec, tracer)
-        return self._propagate(server, current, streaming, strategy, codec, tracer)
+        return self._propagate(server, current, streaming, strategy, codec,
+                               tracer, pool=pool)
 
     def reset_round_metrics(self) -> None:
         """Zero the per-round counts/stats.
@@ -378,25 +403,53 @@ class AggregationTree:
         self.last_tier_stats = [ChannelStats() for _ in self.tiers]
 
     def _propagate(self, server, current, streaming, strategy, codec,
-                   tracer=NULL_TRACER) -> Tuple[Dict[ExpertKey, int], ChannelStats]:
+                   tracer=NULL_TRACER, pool=None
+                   ) -> Tuple[Dict[ExpertKey, int], ChannelStats]:
         """Ship tier-0 partials up the tree and into the root server."""
         # Inner tiers: deliver each node's partials to its parent aggregator,
         # re-fold, re-frame.  Nodes iterate in index order so channel fault
-        # sequences are deterministic.
+        # sequences are deterministic.  With a fold pool attached every inner
+        # node becomes its own fold job — independent subtrees at each tier
+        # fold concurrently (pool workers or aggregator servers) instead of
+        # serializing on this loop; the jobs carry the delivered frames in
+        # arrival order, so the worker's streaming fold is bit-identical to
+        # the serial parent aggregator (test-enforced).
         for tier in range(self.depth - 1):
-            parents = [StreamingAggregator(strategy) for _ in range(self.tiers[tier + 1])]
+            parents = ([StreamingAggregator(strategy)
+                        for _ in range(self.tiers[tier + 1])]
+                       if pool is None else [])
+            inbox: Dict[int, List[Tuple[bytes, int]]] = {}
             for node in sorted(current):
                 parent = self.parent_of(tier, node)
                 with tracer.span("tier_send", category="transfer", tier=tier,
                                  node=node, partials=len(current[node])) as span:
                     airtime_before = self.last_tier_stats[tier].seconds
                     for partial, frame in current[node]:
-                        delivered = self._send(tier, node, partial, frame, codec)
-                        if delivered is not None:
+                        delivered, delivered_frame = self._send(
+                            tier, node, partial, frame, codec)
+                        if delivered is None:
+                            continue
+                        if pool is None:
                             parents[parent].add(delivered)
+                        else:
+                            inbox.setdefault(parent, []).append(
+                                (delivered_frame,
+                                 getattr(delivered, "staleness", 0)))
                     span.set(sim_duration=self.last_tier_stats[tier].seconds
                              - airtime_before)
             current = {}
+            if pool is not None:
+                jobs = [(node, self.pseudo_id(tier + 1, node), inbox[node])
+                        for node in sorted(inbox)]
+                for node, _, framed in jobs:
+                    self.last_tier_counts[tier + 1][node] = len(framed)
+                folded = pool.prefold_nodes(strategy, jobs, timed=tracer.enabled)
+                for record in pool.last_span_records:
+                    tracer.ingest(record)
+                current = {node: [(decode_update(frame), frame)
+                                  for frame in partial_frames]
+                           for node, partial_frames in folded}
+                continue
             for node, aggregator in enumerate(parents):
                 self.last_tier_counts[tier + 1][node] = aggregator.num_updates
                 if len(aggregator):
@@ -412,7 +465,7 @@ class AggregationTree:
                                  node=node, partials=len(current[node])) as span:
                     airtime_before = self.last_tier_stats[tier].seconds
                     for partial, frame in current[node]:
-                        delivered = self._send(tier, node, partial, frame, codec)
+                        delivered, _ = self._send(tier, node, partial, frame, codec)
                         if delivered is not None:
                             yield delivered
                     span.set(sim_duration=self.last_tier_stats[tier].seconds

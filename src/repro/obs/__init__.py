@@ -37,6 +37,7 @@ from .report import (
     category_table,
     format_table,
     round_table,
+    service_table,
     tier_table,
     totals_table,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "make_telemetry",
     "round_table",
     "tier_table",
+    "service_table",
     "totals_table",
     "category_table",
     "format_table",

@@ -95,6 +95,33 @@ def tier_table(events: Iterable[Dict]) -> Table:
     return headers, rows
 
 
+def service_table(events: Iterable[Dict]) -> Table:
+    """Aggregation-service fold-plane counters from the final snapshot.
+
+    Surfaces every ``repro_service_*`` counter: per-tier fold counts
+    (``repro_service_tier_folds_total{tier=...}`` — inner-tier routing made
+    visible), per-codec wire payload bytes
+    (``repro_service_frame_bytes_total{codec=...}`` — what the compressed
+    service wire saves), reference-shipping overhead and the per-server
+    transport totals.
+    """
+    snapshot = last_metrics_snapshot(events)
+    headers = ["metric", "value"]
+    rows: List[List[str]] = []
+    if snapshot:
+        for entry in snapshot.get("counters", []):
+            if not entry["name"].startswith("repro_service_"):
+                continue
+            labels = dict(tuple(pair) for pair in entry["labels"])
+            suffix = "".join(f"{{{k}={v}}}" for k, v in sorted(labels.items()))
+            value = entry["value"]
+            rendered = (_fmt_bytes(value) if "bytes" in entry["name"]
+                        else f"{value:g}")
+            rows.append([entry["name"] + suffix, rendered])
+    rows.sort()
+    return headers, rows
+
+
 def totals_table(events: Iterable[Dict]) -> Table:
     """Run-wide counter/gauge totals from the final metrics snapshot."""
     snapshot = last_metrics_snapshot(events)
@@ -103,6 +130,8 @@ def totals_table(events: Iterable[Dict]) -> Table:
     if snapshot:
         for entry in snapshot.get("counters", []) + snapshot.get("gauges", []):
             labels = dict(tuple(pair) for pair in entry["labels"])
+            if entry["name"].startswith("repro_service_"):
+                continue  # covered by service_table
             if "tier" in labels:
                 continue  # covered by tier_table
             suffix = "".join(f"{{{k}={v}}}" for k, v in sorted(labels.items()))

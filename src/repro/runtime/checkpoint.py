@@ -86,7 +86,8 @@ _RESUMABLE_CONFIG_FIELDS = frozenset(
      "telemetry", "telemetry_dir",
      "aggregation_executor", "aggregation_workers",
      "service_transport", "service_retry_attempts",
-     "service_retry_delay_s", "service_timeout_s", "service_log_dir"})
+     "service_retry_delay_s", "service_timeout_s", "service_log_dir",
+     "service_codec", "service_window"})
 
 
 def _config_snapshot(config) -> Dict:

@@ -30,7 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..comm import decode_update, encode_update, get_codec
+from ..comm import decode_update, encode_state_dict, encode_update, get_codec
 from ..federated.client import Participant
 from ..obs import NULL_TELEMETRY, span_record
 
@@ -93,7 +93,8 @@ def _run_participant_chunk(payload: bytes, participant_ids: Sequence[int],
 
 
 # ----------------------------------------------------------- aggregation fold
-def frame_update(update, codec=None) -> Tuple[bytes, int]:
+def frame_update(update, codec=None, references: Optional[Dict] = None
+                 ) -> Tuple[bytes, int]:
     """One update as the ``(wire frame, staleness)`` pair fold jobs consume.
 
     Staleness rides alongside the frame because it is in-memory metadata that
@@ -103,24 +104,75 @@ def frame_update(update, codec=None) -> Tuple[bytes, int]:
     Every producer of pooled fold payloads must pair through here so the
     convention has exactly one home; :func:`_decode_framed_updates` is the
     worker-side inverse.
+
+    An update that arrived over the wire transport carries its original frame
+    (``update.wire_frame``); with no explicit ``codec`` requested that frame
+    is forwarded *verbatim* instead of re-encoding the decoded state as fp64
+    — bit-identical by construction (the state is the deterministic decode of
+    exactly these bytes), and free of the old double-encode.  Self-contained
+    codecs forward unconditionally; ``needs_reference`` codecs (top-k/sparse
+    deltas) forward only when the caller passes a ``references`` dict to
+    collect each key's fp64-framed reference state for the remote decoder
+    (``references[key]`` is recorded once per key), and fall back to the
+    lossless fp64 re-encode otherwise.
     """
     if codec is None:
+        frame = getattr(update, "wire_frame", None)
+        if frame is not None:
+            wire_codec = get_codec(update.wire_codec)
+            if not wire_codec.needs_reference:
+                return frame, getattr(update, "staleness", 0)
+            if references is not None and update.wire_reference is not None:
+                if update.key not in references:
+                    references[update.key] = encode_state_dict(
+                        update.wire_reference, get_codec(_IPC_CODEC))
+                return frame, getattr(update, "staleness", 0)
         codec = get_codec(_IPC_CODEC)
     return encode_update(update, codec), getattr(update, "staleness", 0)
 
 
-def _decode_framed_updates(framed: Sequence[Tuple[bytes, int]]) -> List:
+def _reference_lookup_from(references: Optional[Dict]):
+    """Worker-side decoder for a :func:`frame_update` ``references`` dict.
+
+    Returns a ``reference_lookup(layer, expert)`` that lazily decodes the
+    fp64 state-dict reference frames (cached per key), or ``None`` when no
+    references travelled with the job — self-contained frames never look one
+    up, so the lazy decode costs nothing unless a delta frame needs it.
+    """
+    if not references:
+        return None
+    from ..comm import decode_state_dict
+
+    cache: Dict[Tuple[int, int], Dict] = {}
+
+    def lookup(layer: int, expert: int):
+        key = (layer, expert)
+        state = cache.get(key)
+        if state is None:
+            frame = references.get(key)
+            if frame is None:
+                return None
+            state = decode_state_dict(frame)
+            cache[key] = state
+        return state
+
+    return lookup
+
+
+def _decode_framed_updates(framed: Sequence[Tuple[bytes, int]],
+                           reference_lookup=None) -> List:
     """Rebuild updates from :func:`frame_update` pairs in arrival order."""
     updates = []
     for frame, staleness in framed:
-        update = decode_update(frame)
+        update = decode_update(frame, reference_lookup=reference_lookup)
         update.staleness = int(staleness)
         updates.append(update)
     return updates
 
 
 def _fold_shard_frames(strategy, streaming: bool,
-                       framed: Sequence[Tuple[bytes, int]]
+                       framed: Sequence[Tuple[bytes, int]],
+                       references: Optional[Dict] = None
                        ) -> List[Tuple[Tuple[int, int], bytes, int]]:
     """Worker-side: fold one shard's framed updates to per-key aggregates.
 
@@ -132,11 +184,11 @@ def _fold_shard_frames(strategy, streaming: bool,
     state, contribution count)`` triples; the state travels back as a
     lossless fp64 state-dict frame, so pooled == serial bit-for-bit.
     """
-    from ..comm import StreamingAggregator, encode_state_dict
+    from ..comm import StreamingAggregator
     from ..federated.aggregation import fedavg_states, group_updates
 
     codec = get_codec(_IPC_CODEC)
-    updates = _decode_framed_updates(framed)
+    updates = _decode_framed_updates(framed, _reference_lookup_from(references))
     if strategy is None and not streaming:
         return [
             (key, encode_state_dict(fedavg_states([u.state for u in group],
@@ -152,7 +204,8 @@ def _fold_shard_frames(strategy, streaming: bool,
 
 
 def _prefold_node_frames(strategy, pseudo_id: int,
-                         framed: Sequence[Tuple[bytes, int]]) -> List[bytes]:
+                         framed: Sequence[Tuple[bytes, int]],
+                         references: Optional[Dict] = None) -> List[bytes]:
     """Worker-side: pre-fold one aggregation-tree node's framed updates.
 
     The node's partials come back as framed updates carrying the group's
@@ -162,16 +215,25 @@ def _prefold_node_frames(strategy, pseudo_id: int,
     from ..comm import StreamingAggregator
 
     aggregator = StreamingAggregator(strategy)
-    aggregator.add_updates(_decode_framed_updates(framed))
+    aggregator.add_updates(
+        _decode_framed_updates(framed, _reference_lookup_from(references)))
     codec = get_codec(_IPC_CODEC)
     return [encode_update(partial, codec) for partial in aggregator.partials(pseudo_id)]
 
 
-def _timed_fold_shard(strategy, streaming: bool, framed, shard: int):
+def _tier_of_pseudo_id(pseudo_id: int) -> int:
+    """The aggregation-tree tier a prefold job's pseudo participant id names."""
+    from ..federated.topology import tier_of_pseudo_id
+
+    return tier_of_pseudo_id(pseudo_id)
+
+
+def _timed_fold_shard(strategy, streaming: bool, framed, shard: int,
+                      references: Optional[Dict] = None):
     """Worker-side: :func:`_fold_shard_frames` plus a fold span record."""
     wall_start = time.time()
     perf_start = time.perf_counter()
-    result = _fold_shard_frames(strategy, streaming, framed)
+    result = _fold_shard_frames(strategy, streaming, framed, references)
     record = span_record("fold_shard", "fold", wall_start,
                          time.perf_counter() - perf_start,
                          shard=shard, num_updates=len(framed),
@@ -179,15 +241,16 @@ def _timed_fold_shard(strategy, streaming: bool, framed, shard: int):
     return result, record
 
 
-def _timed_prefold_node(strategy, pseudo_id: int, framed, node: int):
+def _timed_prefold_node(strategy, pseudo_id: int, framed, node: int,
+                        references: Optional[Dict] = None):
     """Worker-side: :func:`_prefold_node_frames` plus a fold span record."""
     wall_start = time.time()
     perf_start = time.perf_counter()
-    result = _prefold_node_frames(strategy, pseudo_id, framed)
+    result = _prefold_node_frames(strategy, pseudo_id, framed, references)
     record = span_record("prefold_node", "fold", wall_start,
                          time.perf_counter() - perf_start,
-                         node=node, tier=0, num_updates=len(framed),
-                         worker_pid=os.getpid())
+                         node=node, tier=_tier_of_pseudo_id(pseudo_id),
+                         num_updates=len(framed), worker_pid=os.getpid())
     return result, record
 
 
@@ -207,6 +270,12 @@ class AggregationPool:
     """
 
     name = "process"
+
+    #: whether fold dispatch should collect ``needs_reference`` wire frames'
+    #: reference states into the jobs (the service pool's compressed wire
+    #: opts in; process-pool workers share the parent host, so shipping the
+    #: compact frame vs the fp64 re-encode only moves pickle bytes)
+    wire_frames = False
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
         if max_workers is not None and max_workers < 1:
@@ -233,11 +302,14 @@ class AggregationPool:
         return picklable_strategy(strategy)
 
     def fold_shards(self, strategy, streaming: bool,
-                    jobs: Sequence[Tuple[int, Sequence[Tuple[bytes, int]]]],
+                    jobs: Sequence[Tuple],
                     timed: bool = False
                     ) -> List[Tuple[int, List[Tuple[Tuple[int, int], bytes, int]]]]:
         """Fold every shard's framed updates concurrently; results in job order.
 
+        Jobs are ``(shard, framed)`` or ``(shard, framed, references)`` — the
+        optional trailing dict carries fp64-framed reference states for
+        ``needs_reference`` wire frames (see :func:`frame_update`).
         ``timed=True`` additionally measures each shard's fold in its worker
         and leaves the span records in :attr:`last_span_records`.
         """
@@ -245,42 +317,47 @@ class AggregationPool:
         pool = self._ensure_pool()
         self.last_span_records = []
         if timed:
-            futures = [(shard, pool.submit(_timed_fold_shard, strategy, streaming,
-                                           framed, shard))
-                       for shard, framed in jobs]
+            futures = [(job[0], pool.submit(_timed_fold_shard, strategy, streaming,
+                                            job[1], job[0],
+                                            job[2] if len(job) > 2 else None))
+                       for job in jobs]
             out = []
             for shard, future in futures:
                 result, record = future.result()
                 self.last_span_records.append(record)
                 out.append((shard, result))
             return out
-        futures = [(shard, pool.submit(_fold_shard_frames, strategy, streaming, framed))
-                   for shard, framed in jobs]
+        futures = [(job[0], pool.submit(_fold_shard_frames, strategy, streaming,
+                                        job[1], job[2] if len(job) > 2 else None))
+                   for job in jobs]
         return [(shard, future.result()) for shard, future in futures]
 
     def prefold_nodes(self, strategy,
-                      jobs: Sequence[Tuple[int, int, Sequence[Tuple[bytes, int]]]],
+                      jobs: Sequence[Tuple],
                       timed: bool = False) -> List[Tuple[int, List[bytes]]]:
         """Pre-fold every tree node's framed updates concurrently (job order).
 
-        ``timed=True`` measures each node's fold worker-side into
-        :attr:`last_span_records`, as :meth:`fold_shards` does.
+        Jobs are ``(node, pseudo_id, framed)`` or ``(node, pseudo_id, framed,
+        references)``.  ``timed=True`` measures each node's fold worker-side
+        into :attr:`last_span_records`, as :meth:`fold_shards` does.
         """
         strategy = self._worker_strategy(strategy)
         pool = self._ensure_pool()
         self.last_span_records = []
         if timed:
-            futures = [(node, pool.submit(_timed_prefold_node, strategy, pseudo_id,
-                                          framed, node))
-                       for node, pseudo_id, framed in jobs]
+            futures = [(job[0], pool.submit(_timed_prefold_node, strategy, job[1],
+                                            job[2], job[0],
+                                            job[3] if len(job) > 3 else None))
+                       for job in jobs]
             out = []
             for node, future in futures:
                 result, record = future.result()
                 self.last_span_records.append(record)
                 out.append((node, result))
             return out
-        futures = [(node, pool.submit(_prefold_node_frames, strategy, pseudo_id, framed))
-                   for node, pseudo_id, framed in jobs]
+        futures = [(job[0], pool.submit(_prefold_node_frames, strategy, job[1],
+                                        job[2], job[3] if len(job) > 3 else None))
+                   for job in jobs]
         return [(node, future.result()) for node, future in futures]
 
     def close(self) -> None:
@@ -306,7 +383,9 @@ def make_aggregation_pool(config) -> Optional[AggregationPool]:
             retry_attempts=getattr(config, "service_retry_attempts", 3),
             retry_delay_s=getattr(config, "service_retry_delay_s", 0.05),
             timeout_s=getattr(config, "service_timeout_s", 30.0),
-            log_dir=getattr(config, "service_log_dir", None))
+            log_dir=getattr(config, "service_log_dir", None),
+            wire_frames=getattr(config, "service_codec", "fp64") == "wire",
+            window=getattr(config, "service_window", 8))
     raise ValueError(f"unknown aggregation executor {name!r}")
 
 

@@ -20,19 +20,30 @@ in-host tests, TCP for multi-process topologies.  The pieces:
   ``RunConfig(aggregation_executor="service")``.
 
 The service fold plane is bit-identical to the pooled and serial planes
-(same worker fold functions, lossless fp64 interchange; test-enforced) and
+(same worker fold functions; lossless fp64 interchange by default, or —
+with ``RunConfig(service_codec="wire")`` — the round's original codec
+frames forwarded verbatim with per-job references; test-enforced) and
 survives a hard-killed server mid-round by respawning and replaying the
-round — see the CI ``service-smoke`` lane and
-``scripts/service_smoke.py``.
+round — see the CI ``service-smoke`` lane and ``scripts/service_smoke.py``.
+Connections open with an ``OP_HELLO`` version handshake
+(:data:`PROTOCOL_VERSION`) and ADDs are pipelined in a bounded window
+acknowledged before each flush.
 """
 
-from .client import DEFAULT_CHUNK_FRAMES, ServiceClient, ServiceUnavailableError
+from .client import (
+    DEFAULT_CHUNK_FRAMES,
+    DEFAULT_WINDOW,
+    ServiceClient,
+    ServiceUnavailableError,
+)
 from .pool import ServiceAggregationPool
 from .protocol import (
     OP_NAMES,
+    PROTOCOL_VERSION,
     SERVICE_MAGIC,
     ServiceError,
     ServiceProtocolError,
+    UnknownCodecError,
     decode_message,
     encode_message,
 )
@@ -40,10 +51,12 @@ from .server import AggregatorServer, InProcessServer, ServerProcess, spawn_serv
 
 __all__ = [
     "SERVICE_MAGIC",
+    "PROTOCOL_VERSION",
     "OP_NAMES",
     "encode_message",
     "decode_message",
     "ServiceProtocolError",
+    "UnknownCodecError",
     "ServiceError",
     "AggregatorServer",
     "InProcessServer",
@@ -52,5 +65,6 @@ __all__ = [
     "ServiceClient",
     "ServiceUnavailableError",
     "DEFAULT_CHUNK_FRAMES",
+    "DEFAULT_WINDOW",
     "ServiceAggregationPool",
 ]

@@ -15,6 +15,20 @@ attempt's half-accumulated state is thereby orphaned server-side (never
 folded, evicted at the server's next flush), which is what makes retries
 safe: a round folds from exactly one complete token or not at all.
 
+The ADD sequence is *pipelined*: up to ``window`` chunks ride the connection
+before the client reads an acknowledgement (the server answers every request,
+in order, so the sender drains exactly as many acks as it sent before the
+flush round-trips), and the round's *final* chunk rides the flush body
+itself — so a round that fits one chunk (every tree-node prefold in
+practice) is a single request/response, and every round saves one round
+trip.  On TCP this removes the per-chunk RTT stall from the fold critical
+path; correctness is unchanged because the whole-round-replay semantics
+above never depended on *when* an ack is read — a connection that dies with
+a window in flight just replays the round.  Each (re)connect opens
+with an ``OP_HELLO`` version handshake, so mismatched peers fail fast with a
+typed :class:`~repro.service.protocol.ServiceProtocolError` (never retried)
+instead of corrupting a round.
+
 Retries assume the ``connect`` factory can produce a working connection
 again — for spawned servers the pool's factory respawns a dead process
 first, which is how a hard-killed server mid-round heals (the CI
@@ -34,12 +48,16 @@ from .protocol import (
     OP_ERR,
     OP_FLUSH_NODE,
     OP_FLUSH_SHARD,
+    OP_HELLO,
     OP_OK,
     OP_PING,
     OP_RESET,
     OP_SHUTDOWN,
     OP_STATS,
+    PROTOCOL_VERSION,
     ServiceError,
+    ServiceProtocolError,
+    UnknownCodecError,
     decode_message,
     encode_message,
 )
@@ -48,6 +66,11 @@ from .protocol import (
 #: streaming conversation (exercising the accumulator-between-requests path),
 #: large enough that envelope overhead stays negligible
 DEFAULT_CHUNK_FRAMES = 32
+
+#: OP_ADD chunks in flight before the sender waits for an acknowledgement;
+#: bounded so a slow server applies backpressure through the window rather
+#: than through unbounded client-side socket buffering
+DEFAULT_WINDOW = 8
 
 
 class ServiceUnavailableError(ConnectionError):
@@ -65,15 +88,19 @@ class ServiceClient:
                  name: str = "server0",
                  retry_attempts: int = 3, retry_delay_s: float = 0.05,
                  timeout_s: float = 30.0,
-                 chunk_frames: int = DEFAULT_CHUNK_FRAMES) -> None:
+                 chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+                 window: int = DEFAULT_WINDOW) -> None:
         if retry_attempts < 1:
             raise ValueError("retry_attempts must be positive")
+        if window < 1:
+            raise ValueError("window must be positive")
         self._connect = connect
         self.name = name
         self.retry_attempts = int(retry_attempts)
         self.retry_delay_s = float(retry_delay_s)
         self.timeout_s = float(timeout_s)
         self.chunk_frames = int(chunk_frames)
+        self.window = int(window)
         self._stream: Optional[FrameStream] = None
         self._token_counter = 0
         #: lifetime transport counters, drained into ``repro_service_*``
@@ -90,6 +117,13 @@ class ServiceClient:
             stream.settimeout(self.timeout_s)
             self._stream = stream
             self.stats["connections"] += 1
+            # Version handshake before anything else rides this connection: a
+            # server speaking another protocol version rejects it with a
+            # typed ServiceProtocolError (pre-versioning servers reject the
+            # unknown op the same way), which is NOT retried — mismatched
+            # peers fail fast instead of replaying a round they can never
+            # complete.
+            self._round_trip(OP_HELLO, {"version": PROTOCOL_VERSION})
         return self._stream
 
     def _drop_stream(self) -> None:
@@ -102,16 +136,20 @@ class ServiceClient:
         self._drop_stream()
 
     # --------------------------------------------------------------- requests
-    def _round_trip(self, op: int, body) -> object:
-        """One request/response on the live stream (no retry at this level)."""
-        stream = self._ensure_stream()
+    def _send_request(self, stream: FrameStream, op: int, body) -> None:
+        """Ship one request frame without waiting for its response."""
         sent_before = stream.bytes_sent
-        received_before = stream.bytes_received
         try:
             stream.send_frame(encode_message(op, body))
-            response = stream.recv_frame()
         finally:
             self.stats["bytes_sent"] += stream.bytes_sent - sent_before
+
+    def _recv_response(self, stream: FrameStream) -> object:
+        """Read + check the next (in-order) response on the stream."""
+        received_before = stream.bytes_received
+        try:
+            response = stream.recv_frame()
+        finally:
             self.stats["bytes_received"] += stream.bytes_received - received_before
         if response is None:
             raise ConnectionError(
@@ -119,14 +157,30 @@ class ServiceClient:
         self.stats["requests"] += 1
         response_op, response_body = decode_message(response)
         if response_op == OP_ERR:
-            detail = (f"{response_body.get('type')}: {response_body.get('error')}"
+            kind = (response_body.get("type")
+                    if isinstance(response_body, dict) else None)
+            detail = (f"{kind}: {response_body.get('error')}"
                       if isinstance(response_body, dict) else str(response_body))
-            raise ServiceError(f"server {self.name!r} request failed: {detail}")
+            message = f"server {self.name!r} request failed: {detail}"
+            # Re-raise the server's typed protocol failures as themselves so
+            # callers can tell "this pairing can never work" (version/codec
+            # mismatch — fail fast, never retried) from a generic fold error.
+            if kind == "UnknownCodecError":
+                raise UnknownCodecError(message)
+            if kind == "ServiceProtocolError":
+                raise ServiceProtocolError(message)
+            raise ServiceError(message)
         if response_op != OP_OK:
             raise ServiceError(
                 f"server {self.name!r} sent unexpected response op "
                 f"{response_op}")
         return response_body
+
+    def _round_trip(self, op: int, body) -> object:
+        """One request/response on the live stream (no retry at this level)."""
+        stream = self._ensure_stream()
+        self._send_request(stream, op, body)
+        return self._recv_response(stream)
 
     def _with_retries(self, transaction: Callable[[], object]) -> object:
         """Run ``transaction`` (one or more round trips), replaying it whole
@@ -176,15 +230,40 @@ class ServiceClient:
 
     def _fold_round(self, frames: Sequence[Tuple[bytes, int]], flush_op: int,
                     flush_body: Dict) -> Tuple[object, Optional[dict]]:
-        """ADD-chunk the round's frames, flush, return (result, span record)."""
+        """ADD-chunk the round's frames (pipelined), flush, return the result.
+
+        Up to :attr:`window` ADD chunks are in flight before an ack is read;
+        every outstanding ack is drained before the flush round-trips, so a
+        fold never flushes past an unacknowledged window.  Chunks are encoded
+        and sent one at a time (never pre-encoded as a batch: on a
+        shared-CPU host that would serialize all client-side encoding ahead
+        of the server's ingest), and the final chunk rides the flush body —
+        a ≤ ``chunk_frames`` round is one single request/response.  Any
+        failure inside the window — including an error ack for an *earlier*
+        chunk — aborts the attempt and the round replays whole under a fresh
+        token.
+        """
 
         def transaction():
             token = self._next_token()  # fresh per attempt (see module docstring)
-            for start in range(0, len(frames), self.chunk_frames):
-                self._round_trip(OP_ADD, {
-                    "token": token,
-                    "frames": list(frames[start:start + self.chunk_frames])})
-            body = self._round_trip(flush_op, dict(flush_body, token=token))
+            stream = self._ensure_stream()
+            chunks = [list(frames[start:start + self.chunk_frames])
+                      for start in range(0, len(frames), self.chunk_frames)]
+            flush = dict(flush_body, token=token)
+            if chunks:
+                flush["frames"] = chunks.pop()  # final chunk rides the flush
+            inflight = 0
+            for chunk in chunks:
+                if inflight >= self.window:
+                    self._recv_response(stream)
+                    inflight -= 1
+                self._send_request(stream, OP_ADD,
+                                   {"token": token, "frames": chunk})
+                inflight += 1
+            while inflight:
+                self._recv_response(stream)
+                inflight -= 1
+            body = self._round_trip(flush_op, flush)
             return body["result"], body.get("record")
 
         reconnects_before = self.stats["reconnects"]
@@ -203,18 +282,34 @@ class ServiceClient:
                             protocol=pickle.HIGHEST_PROTOCOL)
 
     def prefold_node(self, strategy, node: int, pseudo_id: int,
-                     frames: Sequence[Tuple[bytes, int]], timed: bool = False
+                     frames: Sequence[Tuple[bytes, int]], timed: bool = False,
+                     references: Optional[Dict] = None,
                      ) -> Tuple[List[bytes], Optional[dict]]:
-        """Fold one tree node's framed updates into partial frames."""
-        return self._fold_round(frames, OP_FLUSH_NODE, {
-            "strategy": self._pickle_strategy(strategy),
-            "node": int(node), "pseudo_id": int(pseudo_id), "timed": timed})
+        """Fold one tree node's framed updates into partial frames.
+
+        ``references`` (compressed service wire only) maps ``(layer, expert)``
+        keys to fp64 reference frames for any reference-requiring codec among
+        ``frames``; it rides the flush body — not the ADDs — so a replayed
+        round reships it automatically and the server stores nothing per-token.
+        """
+        body = {"strategy": self._pickle_strategy(strategy),
+                "node": int(node), "pseudo_id": int(pseudo_id), "timed": timed}
+        if references:
+            body["references"] = references
+        return self._fold_round(frames, OP_FLUSH_NODE, body)
 
     def fold_shard(self, strategy, streaming: bool, shard: int,
-                   frames: Sequence[Tuple[bytes, int]], timed: bool = False
+                   frames: Sequence[Tuple[bytes, int]], timed: bool = False,
+                   references: Optional[Dict] = None,
                    ) -> Tuple[List[Tuple[Tuple[int, int], bytes, int]],
                               Optional[dict]]:
-        """Fold one shard's framed updates into per-key aggregate frames."""
-        return self._fold_round(frames, OP_FLUSH_SHARD, {
-            "strategy": self._pickle_strategy(strategy),
-            "streaming": bool(streaming), "shard": int(shard), "timed": timed})
+        """Fold one shard's framed updates into per-key aggregate frames.
+
+        ``references`` semantics match :meth:`prefold_node`.
+        """
+        body = {"strategy": self._pickle_strategy(strategy),
+                "streaming": bool(streaming), "shard": int(shard),
+                "timed": timed}
+        if references:
+            body["references"] = references
+        return self._fold_round(frames, OP_FLUSH_SHARD, body)

@@ -34,11 +34,25 @@ externally managed servers and never spawns or shuts down anything);
 loop reached over ``socket.socketpair()`` — the same protocol end-to-end
 with zero network setup, for in-host tests and constrained sandboxes.
 
+Compressed service wire: with ``wire_frames=True`` (from
+``RunConfig(service_codec="wire")``) the callers forward each round's
+*original* codec frames verbatim instead of re-encoding partials to fp64 —
+the pool advertises the mode via its :attr:`wire_frames` attribute, and jobs
+may carry a trailing per-job references dict (fp64 reference frames for
+reference-requiring codecs) that rides the flush body to the server.  The
+server decodes exactly the bytes the serial path would, so bit-identity
+holds by construction while wire bytes shrink to the codec's ratio.  ADDs
+are pipelined client-side in a bounded ``window`` (see
+:mod:`repro.service.client`).
+
 Observability: with telemetry bound (the orchestrator calls
 :meth:`bind_telemetry`), every fold call drains the per-server transport
-counters into ``repro_service_*`` metrics and server-measured fold span
-records land in :attr:`last_span_records` for the caller's tracer to ingest,
-exactly like pool workers' records.
+counters into ``repro_service_*`` metrics — including per-codec
+``repro_service_frame_bytes_total``, per-tier
+``repro_service_tier_folds_total`` and ``repro_service_reference_bytes_total``
+payload counters — and server-measured fold span records land in
+:attr:`last_span_records` for the caller's tracer to ingest, exactly like
+pool workers' records.
 """
 
 from __future__ import annotations
@@ -49,8 +63,9 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..comm.serialization import frame_codec_name
 from ..comm.stream import FrameStream
-from .client import DEFAULT_CHUNK_FRAMES, ServiceClient
+from .client import DEFAULT_CHUNK_FRAMES, DEFAULT_WINDOW, ServiceClient
 from .server import InProcessServer, ServerProcess, spawn_server
 
 #: spawned-server default when ``aggregation_workers`` is unset: enough for
@@ -71,6 +86,8 @@ class ServiceAggregationPool:
                  retry_attempts: int = 3, retry_delay_s: float = 0.05,
                  timeout_s: float = 30.0,
                  chunk_frames: int = DEFAULT_CHUNK_FRAMES,
+                 window: int = DEFAULT_WINDOW,
+                 wire_frames: bool = False,
                  log_dir: Optional[str] = None) -> None:
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown service transport {transport!r} "
@@ -95,6 +112,11 @@ class ServiceAggregationPool:
         self.retry_delay_s = float(retry_delay_s)
         self.timeout_s = float(timeout_s)
         self.chunk_frames = int(chunk_frames)
+        self.window = int(window)
+        #: advertised to callers (topology / parameter server): ``True`` asks
+        #: them to forward original codec wire frames + per-job references
+        #: instead of re-encoding partials to fp64 (``service_codec="wire"``)
+        self.wire_frames = bool(wire_frames)
         self.log_dir = log_dir
         #: server-measured fold span records of the most recent ``timed=True``
         #: call (cleared per call) — same contract as ``AggregationPool``
@@ -128,8 +150,12 @@ class ServiceAggregationPool:
         return f"server{index}"
 
     def _dial_tcp(self, host: str, port: int) -> FrameStream:
-        return FrameStream(socket.create_connection((host, port),
-                                                    timeout=self.timeout_s))
+        sock = socket.create_connection((host, port), timeout=self.timeout_s)
+        # Without NODELAY, Nagle holds each request's sub-MSS tail segment
+        # whenever earlier data is unacked — which is precisely the pipelined
+        # window's steady state.  (asyncio already sets it server-side.)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return FrameStream(sock)
 
     def _connect_factory(self, index: int):
         """The per-server dial callable handed to its :class:`ServiceClient`.
@@ -181,7 +207,8 @@ class ServiceAggregationPool:
                           retry_attempts=self.retry_attempts,
                           retry_delay_s=self.retry_delay_s,
                           timeout_s=self.timeout_s,
-                          chunk_frames=self.chunk_frames)
+                          chunk_frames=self.chunk_frames,
+                          window=self.window)
             for index in range(self.num_servers)]
         self._locks = [threading.Lock() for _ in range(self.num_servers)]
         self._dispatch = ThreadPoolExecutor(
@@ -260,6 +287,30 @@ class ServiceAggregationPool:
                             self._respawns[index], **labels)
                 self._respawns[index] = 0
 
+    def _count_payloads(self, framed_lists, references_list) -> None:
+        """Account fold payload bytes: per-codec frame bytes + reference bytes.
+
+        The codec is sniffed from each frame's RWP1 header (``"unknown"`` for
+        anything unparseable), which is what makes the compressed-wire savings
+        visible per codec in run reports without decoding anything.
+        """
+        if self._registry is None:
+            return
+        by_codec: Dict[str, int] = {}
+        for framed in framed_lists:
+            for frame, _ in framed:
+                try:
+                    codec = frame_codec_name(frame)
+                except ValueError:
+                    codec = "unknown"
+                by_codec[codec] = by_codec.get(codec, 0) + len(frame)
+        for codec in sorted(by_codec):
+            self._count("repro_service_frame_bytes_total", by_codec[codec],
+                        codec=codec)
+        self._count("repro_service_reference_bytes_total", sum(
+            len(frame) for references in references_list if references
+            for frame in references.values()))
+
     def _run_jobs(self, kind: str, jobs: Sequence[Tuple], run_one) -> List:
         """Dispatch one fold call's jobs across the servers (results job-order)."""
         self._ensure_started()
@@ -285,28 +336,53 @@ class ServiceAggregationPool:
                     jobs: Sequence[Tuple[int, Sequence[Tuple[bytes, int]]]],
                     timed: bool = False
                     ) -> List[Tuple[int, List[Tuple[Tuple[int, int], bytes, int]]]]:
-        """Fold every shard's framed updates on its pinned server (job order)."""
+        """Fold every shard's framed updates on its pinned server (job order).
+
+        Jobs are ``(shard, framed)`` or — compressed service wire —
+        ``(shard, framed, references)``.
+        """
 
         def run_one(client: ServiceClient, job):
-            shard, framed = job
-            result, record = client.fold_shard(strategy, streaming, shard,
-                                               framed, timed=timed)
+            shard, framed = job[0], job[1]
+            result, record = client.fold_shard(
+                strategy, streaming, shard, framed, timed=timed,
+                references=job[2] if len(job) > 2 else None)
             return shard, result, record
 
-        return self._run_jobs("shard", jobs, run_one)
+        out = self._run_jobs("shard", jobs, run_one)
+        self._count_payloads([job[1] for job in jobs],
+                             [job[2] if len(job) > 2 else None for job in jobs])
+        return out
 
     def prefold_nodes(self, strategy,
                       jobs: Sequence[Tuple[int, int, Sequence[Tuple[bytes, int]]]],
                       timed: bool = False) -> List[Tuple[int, List[bytes]]]:
-        """Pre-fold every tree node's framed updates on its pinned server."""
+        """Pre-fold every tree node's framed updates on its pinned server.
+
+        Jobs are ``(node, pseudo_id, framed)`` or — compressed service wire —
+        ``(node, pseudo_id, framed, references)``.  The pseudo id also names
+        the node's tree tier, counted into
+        ``repro_service_tier_folds_total{tier=...}`` so inner-tier routing is
+        visible in run reports.
+        """
 
         def run_one(client: ServiceClient, job):
-            node, pseudo_id, framed = job
-            result, record = client.prefold_node(strategy, node, pseudo_id,
-                                                 framed, timed=timed)
+            node, pseudo_id, framed = job[0], job[1], job[2]
+            result, record = client.prefold_node(
+                strategy, node, pseudo_id, framed, timed=timed,
+                references=job[3] if len(job) > 3 else None)
             return node, result, record
 
-        return self._run_jobs("node", jobs, run_one)
+        out = self._run_jobs("node", jobs, run_one)
+        if self._registry is not None and jobs:
+            from ..federated.topology import tier_of_pseudo_id
+            tiers = [tier_of_pseudo_id(job[1]) for job in jobs]
+            for tier in sorted(set(tiers)):
+                self._count("repro_service_tier_folds_total",
+                            tiers.count(tier), tier=tier)
+        self._count_payloads([job[2] for job in jobs],
+                             [job[3] if len(job) > 3 else None for job in jobs])
+        return out
 
     # -------------------------------------------------------------- inspection
     def server_stats(self) -> List[Dict]:

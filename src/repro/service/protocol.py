@@ -13,12 +13,24 @@ only wraps them in an op byte and a pickled envelope for the RPC bookkeeping
 
 Requests (client → server):
 
+* ``OP_HELLO`` — protocol-version negotiation, sent once per connection
+  before anything else.  The server acks a matching
+  :data:`PROTOCOL_VERSION` and rejects a mismatch with a typed
+  :class:`ServiceProtocolError` — and a *pre-versioning* server rejects the
+  unknown op the same way — so an incompatible client/server pair fails
+  fast on connect instead of mid-round.  Servers still serve HELLO-less
+  connections (old clients keep working against new servers).
 * ``OP_PING`` — liveness + server identity.
 * ``OP_ADD`` — append one chunk of ``(frame, staleness)`` pairs to the round
   accumulator named by ``token``.  A token the server has not seen starts a
   fresh accumulator, so a reconnecting client replays its round under a new
   token and any half-filled accumulator from the dead connection is simply
-  abandoned (and evicted at the next flush).
+  abandoned (and evicted at the next flush).  Each frame's declared codec is
+  validated on arrival: a tag missing from the codec registry raises a typed
+  :class:`UnknownCodecError` (surfaced client-side as the same class), never
+  a downstream decode/pickle failure.  Clients may pipeline a bounded window
+  of ADDs before reading acks — responses are returned in request order on
+  each connection, so the sender drains exactly as many acks as it sent.
 * ``OP_FLUSH_NODE`` / ``OP_FLUSH_SHARD`` — fold the token's accumulated
   frames with the request's strategy and return the node partials / per-key
   shard aggregates, clearing the accumulator.  These call the *same* worker
@@ -45,8 +57,13 @@ from __future__ import annotations
 import pickle
 from typing import Any, Tuple
 
-#: service envelope magic, version 1 (the inner payloads are RWP1 frames)
+#: service envelope magic (the inner payloads are RWP1 frames)
 SERVICE_MAGIC = b"RWS1"
+
+#: spoken protocol version, negotiated via ``OP_HELLO``.  v2 added HELLO
+#: itself, per-frame codec validation on ADD, pipelined ADD windows and
+#: per-job reference shipping on flush; the envelope format is unchanged.
+PROTOCOL_VERSION = 2
 
 OP_PING = 1
 OP_ADD = 2
@@ -55,6 +72,7 @@ OP_FLUSH_SHARD = 4
 OP_RESET = 5
 OP_STATS = 6
 OP_SHUTDOWN = 7
+OP_HELLO = 8
 OP_OK = 64
 OP_ERR = 65
 
@@ -66,13 +84,23 @@ OP_NAMES = {
     OP_RESET: "reset",
     OP_STATS: "stats",
     OP_SHUTDOWN: "shutdown",
+    OP_HELLO: "hello",
     OP_OK: "ok",
     OP_ERR: "err",
 }
 
 
 class ServiceProtocolError(ValueError):
-    """A service message is malformed (bad magic, unknown op, torn body)."""
+    """A service message is malformed, or the peers speak different versions.
+
+    Deliberately *not* a ``ConnectionError``: the client's reconnect/replay
+    machinery must not retry a request the other end can never understand —
+    version and format mismatches fail fast instead.
+    """
+
+
+class UnknownCodecError(ServiceProtocolError):
+    """An ADD payload declares a codec id missing from the codec registry."""
 
 
 class ServiceError(RuntimeError):

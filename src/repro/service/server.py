@@ -48,13 +48,16 @@ from .protocol import (
     OP_ERR,
     OP_FLUSH_NODE,
     OP_FLUSH_SHARD,
+    OP_HELLO,
     OP_NAMES,
     OP_OK,
     OP_PING,
     OP_RESET,
     OP_SHUTDOWN,
     OP_STATS,
+    PROTOCOL_VERSION,
     ServiceProtocolError,
+    UnknownCodecError,
     decode_message,
     encode_message,
 )
@@ -119,6 +122,33 @@ class AggregatorServer:
             self._pending.pop(next(iter(self._pending)))
         return frames
 
+    @staticmethod
+    def _validated_pairs(raw_frames) -> List[Tuple[bytes, int]]:
+        """Type- and codec-check one ADD chunk before it enters an accumulator.
+
+        A frame declaring a codec the registry does not know raises the typed
+        :class:`UnknownCodecError` *now* — at ADD time, with the offending tag
+        in the message — instead of surfacing as an opaque decode failure (or
+        worse, a pickle error) when the flush finally folds the round.
+        """
+        from ..comm import frame_codec_name, get_codec
+
+        pairs: List[Tuple[bytes, int]] = []
+        for frame, staleness in raw_frames:
+            frame = bytes(frame)
+            try:
+                codec_name = frame_codec_name(frame)
+            except ValueError as error:
+                raise ServiceProtocolError(f"ADD payload is not an RWP1 "
+                                           f"frame: {error}") from error
+            try:
+                get_codec(codec_name)
+            except KeyError:
+                raise UnknownCodecError(
+                    f"ADD frame declares unknown codec {codec_name!r}") from None
+            pairs.append((frame, int(staleness)))
+        return pairs
+
     def handle_request(self, op: int, body) -> Tuple[int, object]:
         """Execute one request; returns the ``(op, body)`` of the response.
 
@@ -130,31 +160,54 @@ class AggregatorServer:
         from ..runtime.executor import _fold_shard_frames, _prefold_node_frames
 
         self.stats["requests_total"] += 1
+        if op == OP_HELLO:
+            version = (int(body.get("version", 0))
+                       if isinstance(body, dict) else 0)
+            if version != PROTOCOL_VERSION:
+                raise ServiceProtocolError(
+                    f"client speaks service protocol version {version}, "
+                    f"this server speaks {PROTOCOL_VERSION}")
+            return OP_OK, {"version": PROTOCOL_VERSION, "pid": os.getpid(),
+                           "name": self.name}
         if op == OP_PING:
             return OP_OK, {"pid": os.getpid(), "name": self.name,
                            "rounds_folded": self.stats["rounds_folded"]}
         if op == OP_ADD:
+            validated = self._validated_pairs(body["frames"])
             pairs = self._pending.setdefault(str(body["token"]), [])
-            pairs.extend((bytes(frame), int(staleness))
-                         for frame, staleness in body["frames"])
-            self.stats["frames_added"] += len(body["frames"])
+            pairs.extend(validated)
+            self.stats["frames_added"] += len(validated)
             return OP_OK, {"buffered": len(pairs)}
         if op in (OP_FLUSH_NODE, OP_FLUSH_SHARD):
             import pickle
 
-            frames = self._flush_frames(str(body["token"]))
+            from ..federated.topology import tier_of_pseudo_id
+
+            # Flush-borne final chunk (see client ``_fold_round``): the last
+            # ADD chunk of a round rides the flush body, saving one round
+            # trip — validated exactly like an OP_ADD chunk, and *before*
+            # the accumulator pops so a codec rejection leaves the pending
+            # state untouched.
+            tail: List[Tuple[bytes, int]] = []
+            if body.get("frames"):
+                tail = self._validated_pairs(body["frames"])
+                self.stats["frames_added"] += len(tail)
+            frames = self._flush_frames(str(body["token"])) + tail
             strategy = (pickle.loads(body["strategy"])
                         if body.get("strategy") is not None else None)
+            references = body.get("references")
             wall_start = time.time()
             perf_start = time.perf_counter()
             if op == OP_FLUSH_NODE:
+                pseudo_id = int(body["pseudo_id"])
                 result: object = _prefold_node_frames(
-                    strategy, int(body["pseudo_id"]), frames)
+                    strategy, pseudo_id, frames, references)
                 record_name, attrs = "prefold_node", {
-                    "node": int(body["node"]), "tier": 0}
+                    "node": int(body["node"]),
+                    "tier": tier_of_pseudo_id(pseudo_id)}
             else:
                 result = _fold_shard_frames(
-                    strategy, bool(body["streaming"]), frames)
+                    strategy, bool(body["streaming"]), frames, references)
                 record_name, attrs = "fold_shard", {"shard": int(body["shard"])}
             self.stats["rounds_folded"] += 1
             record = None

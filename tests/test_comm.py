@@ -30,6 +30,7 @@ from repro.comm import (
     decode_update,
     encode_state_dict,
     encode_update,
+    frame_codec_name,
     get_codec,
     read_frame,
     write_frame,
@@ -453,6 +454,27 @@ class TestFraming:
         for name, value in state.items():
             assert np.array_equal(decoded[name], np.asarray(value))
 
+    @pytest.mark.parametrize("name", ["fp64", "int4", "topk:0.25:int4"])
+    def test_frame_codec_name_sniffs_header_only(self, update, state, name):
+        """The declared codec reads straight off the fixed header — no decode,
+        no reference needed — for update and state-dict frames alike."""
+        codec = get_codec(name)
+        reference = state if codec.needs_reference else None
+        frame = encode_update(update, codec, reference=reference)
+        assert frame_codec_name(frame) == name
+        assert frame_codec_name(encode_state_dict(state, get_codec("fp64"))) == "fp64"
+        # sniffing is cheap enough to need only the header bytes
+        assert frame_codec_name(frame[:6 + len(name)]) == name
+
+    def test_frame_codec_name_rejects_non_frames(self, update):
+        with pytest.raises(ValueError, match="magic|truncated"):
+            frame_codec_name(b"RWS1\x01junk")  # service envelope, wrong layer
+        with pytest.raises(ValueError, match="magic|truncated"):
+            frame_codec_name(b"")
+        frame = encode_update(update, get_codec("fp64"))
+        with pytest.raises(ValueError, match="truncated"):
+            frame_codec_name(frame[:6])  # cut inside the codec tag
+
 
 class TestStreamingAggregation:
     def make_updates(self, model, seed=0, participants=5):
@@ -863,6 +885,48 @@ class TestStreamTransport:
         with pytest.raises(PayloadCorruptedError):
             receiver.recv_frame()
         sender.close()
+        receiver.close()
+
+    def test_send_frames_batches_into_one_write(self):
+        """The batched write primitive: several frames in one ``sendall``,
+        indistinguishable on the wire from per-frame sends."""
+        sender, receiver = self._pair()
+        payloads = [b"", b"one", b"two" * 300]
+        written = sender.send_frames(payloads)
+        assert written == sum(LENGTH_PREFIX.size + len(p) for p in payloads)
+        assert sender.frames_sent == 3
+        assert [receiver.recv_frame() for _ in payloads] == payloads
+        assert receiver.bytes_received == sender.bytes_sent == written
+        sender.close()
+        receiver.close()
+
+    def test_send_frames_oversize_rejected_before_any_byte(self):
+        """One oversized payload anywhere in the batch aborts the whole batch
+        pre-write, so the stream's framing stays intact."""
+        left, right = socket.socketpair()
+        sender = FrameStream(left, max_frame_bytes=16)
+        receiver = FrameStream(right)
+        with pytest.raises(PayloadCorruptedError):
+            sender.send_frames([b"fine", b"z" * 17, b"also-fine"])
+        assert sender.bytes_sent == 0 and sender.frames_sent == 0
+        sender.send_frames([b"fine"])  # the stream is still usable
+        assert receiver.recv_frame() == b"fine"
+        sender.close()
+        receiver.close()
+
+    def test_peer_death_mid_batch_truncates_cleanly(self):
+        """A sender dying inside a batched write leaves complete frames
+        readable and the torn tail as TruncatedFrameError, like any other
+        mid-frame death."""
+        left, right = socket.socketpair()
+        receiver = FrameStream(right)
+        blob = (LENGTH_PREFIX.pack(5) + b"whole"
+                + LENGTH_PREFIX.pack(64) + b"torn")
+        left.sendall(blob)
+        left.close()
+        assert receiver.recv_frame() == b"whole"
+        with pytest.raises(TruncatedFrameError):
+            receiver.recv_frame()
         receiver.close()
 
     def test_asyncio_twins_interoperate_with_blocking_stream(self):

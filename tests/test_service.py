@@ -11,6 +11,7 @@ round replay), the ``repro_service_*`` telemetry, and the pool machinery
 from __future__ import annotations
 
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -26,14 +27,23 @@ from repro.runtime import latest_checkpoint, make_aggregation_pool
 from repro.runtime.executor import frame_update
 from repro.service import (
     OP_NAMES,
+    PROTOCOL_VERSION,
     ServiceAggregationPool,
     ServiceClient,
     ServiceError,
     ServiceUnavailableError,
+    UnknownCodecError,
     decode_message,
     encode_message,
 )
-from repro.service.protocol import OP_ADD, OP_OK, OP_PING, ServiceProtocolError
+from repro.service.protocol import (
+    OP_ADD,
+    OP_FLUSH_SHARD,
+    OP_HELLO,
+    OP_OK,
+    OP_PING,
+    ServiceProtocolError,
+)
 from repro.service.server import _MAX_PENDING_TOKENS, InProcessServer
 from repro.comm.stream import FrameStream
 
@@ -104,7 +114,7 @@ class TestServiceFoldsBitEqualSerial:
         assert serial.last_shard_contributions == service.last_shard_contributions
         _assert_models_equal(serial_model, service_model)
 
-    @pytest.mark.parametrize("tiers", [(2,), (3, 2)])
+    @pytest.mark.parametrize("tiers", [(2,), (3, 2), (2, 2, 2)])
     def test_tree_prefold_matches_serial(self, tiny_config, service_pool, tiers):
         serial_model = MoETransformer(tiny_config)
         service_model = MoETransformer(tiny_config)
@@ -272,6 +282,272 @@ class TestServiceRuns:
             pool.close()
 
 
+# ------------------------------------------------- compressed service wire
+class TestServiceWireCodec:
+    """``RunConfig(service_codec="wire")``: the round's original codec frames
+    are forwarded to the servers verbatim (with per-job references for
+    delta codecs), so compressed rounds ship compressed service bytes while
+    staying bit-identical to serial — the tentpole acceptance invariant."""
+
+    #: ``transport="wire"`` is what stamps each delivered update with its
+    #: original codec frame — the bytes ``service_codec="wire"`` forwards
+    WIRE_KNOBS = dict(SHARDED_3TIER, transport="wire", codec="topk:0.25:int4",
+                      aggregation_executor="service",
+                      service_transport="socketpair", aggregation_workers=2)
+
+    def _run(self, vocab, tiny_config, **config_kwargs):
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **config_kwargs)
+        tuner = ConstantMethod(server, participants, test, config=config)
+        return tuner.run(2), tuner
+
+    def test_wire_run_matches_serial(self, vocab, tiny_config):
+        serial_result, serial_tuner = self._run(
+            vocab, tiny_config,
+            **dict(SHARDED_3TIER, transport="wire", codec="topk:0.25:int4"))
+        wire_result, wire_tuner = self._run(
+            vocab, tiny_config, service_codec="wire", service_window=3,
+            **self.WIRE_KNOBS)
+        for a, b in zip(serial_result.rounds, wire_result.rounds):
+            assert a.train_loss == b.train_loss
+            assert a.metric_value == b.metric_value
+            assert a.edge_bytes == b.edge_bytes
+            assert a.tier_bytes == b.tier_bytes
+        _assert_models_equal(serial_tuner.server.global_model,
+                             wire_tuner.server.global_model)
+
+    def test_wire_saves_service_bytes_and_counts_payloads(self, vocab,
+                                                          tiny_config,
+                                                          tmp_path):
+        """Forwarding topk:int4 frames verbatim must shrink the service wire
+        well below the fp64 re-encode, with per-codec/per-tier/reference
+        counters surfacing exactly what crossed it."""
+
+        def service_bytes(tuner):
+            registry = tuner.telemetry.registry
+            return sum(c["value"] for c in registry.snapshot()["counters"]
+                       if c["name"] == "repro_service_bytes_sent_total")
+
+        _, fp64_tuner = self._run(
+            vocab, tiny_config, telemetry=True,
+            telemetry_dir=str(tmp_path / "fp64"), **self.WIRE_KNOBS)
+        _, wire_tuner = self._run(
+            vocab, tiny_config, service_codec="wire", telemetry=True,
+            telemetry_dir=str(tmp_path / "wire"), **self.WIRE_KNOBS)
+
+        # Only the leaf fan-in (the bulk at real scale — see the bench's
+        # bytes-ratio gate) compresses; inner-tier partials stay fp64.  At
+        # this 4-participant scale that still has to show a strict saving.
+        assert service_bytes(wire_tuner) < 0.9 * service_bytes(fp64_tuner)
+        registry = wire_tuner.telemetry.registry
+        assert registry.counter_value("repro_service_frame_bytes_total",
+                                      codec="topk:0.25:int4") > 0
+        assert registry.counter_value("repro_service_reference_bytes_total") > 0
+        # inner-tier folds (tier 1 of the two-tier tree) routed through servers
+        assert registry.counter_value("repro_service_tier_folds_total",
+                                      tier=1) > 0
+        assert registry.counter_value("repro_service_tier_folds_total",
+                                      tier=0) > 0
+
+    def test_wire_resume_depth3_matches_uninterrupted(self, vocab, tiny_config,
+                                                      tmp_path):
+        """Kill+resume through live servers stays bit-identical on a depth-3
+        tree with the compressed wire — replayed rounds reship their
+        references with the flush, so resumed folds see identical inputs."""
+        knobs = dict(self.WIRE_KNOBS, service_codec="wire",
+                     edge_tiers=(2, 2, 2))
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **knobs)
+        expected_tuner = ConstantMethod(server, participants, test, config=config)
+        expected = expected_tuner.run(4)
+
+        durable = dict(knobs, checkpoint_every=2, checkpoint_dir=str(tmp_path))
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **durable)
+        ConstantMethod(server, participants, test, config=config).run(2)
+        snapshot = latest_checkpoint(str(tmp_path))
+        assert snapshot is not None
+
+        server, participants, test, config = build_federation(
+            vocab, tiny_config, **durable)
+        resumed_tuner = ConstantMethod(server, participants, test, config=config)
+        resumed = resumed_tuner.run(4, resume_from=snapshot)
+
+        for got, want in zip(resumed.rounds, expected.rounds):
+            assert got.train_loss == want.train_loss
+            assert got.metric_value == want.metric_value
+            assert got.tier_bytes == want.tier_bytes
+        _assert_models_equal(resumed_tuner.server.global_model,
+                             expected_tuner.server.global_model)
+
+    def test_unknown_codec_rejected_with_typed_error(self):
+        """An ADD frame declaring an unregistered codec dies as
+        UnknownCodecError at validation — never a downstream decode/pickle
+        failure — and is not retried (the pairing can never work)."""
+        server = InProcessServer(name="codec")
+        client = ServiceClient(lambda: FrameStream(server.connect()),
+                               name="codec", retry_delay_s=0.0)
+        try:
+            bogus = b"RWP1" + bytes((1, 4)) + b"nope" + b"body-never-reached"
+            with pytest.raises(UnknownCodecError, match="nope"):
+                client.call(OP_ADD, {"token": "t", "frames": [(bogus, 0)]})
+            with pytest.raises(ServiceProtocolError, match="not an RWP1"):
+                client.call(OP_ADD, {"token": "t", "frames": [(b"garbage", 0)]})
+            assert client.stats["reconnects"] == 0  # fail fast, no replay
+        finally:
+            client.shutdown()
+            server.close()
+
+    def test_hello_negotiation(self):
+        """Matching versions ack with server identity; a mismatch is a typed,
+        never-retried protocol error (old servers reject the op the same
+        way, so incompatible pairs fail on connect, not mid-round)."""
+        server = InProcessServer(name="versioned")
+        client = ServiceClient(lambda: FrameStream(server.connect()),
+                               name="versioned", retry_delay_s=0.0)
+        try:
+            ack = client.call(OP_HELLO, {"version": PROTOCOL_VERSION})
+            assert ack["version"] == PROTOCOL_VERSION
+            assert ack["name"] == "versioned"
+            with pytest.raises(ServiceProtocolError, match="version"):
+                client.call(OP_HELLO, {"version": PROTOCOL_VERSION + 1})
+            assert client.stats["reconnects"] == 0
+        finally:
+            client.shutdown()
+            server.close()
+
+
+# ------------------------------------------------------------ ADD pipelining
+class TestServiceWindow:
+    """Failure modes of the pipelined ADD window: drops mid-window, flush
+    ordering against the drain, and hard-killed servers under a full
+    pipeline — all absorbed by whole-round fresh-token replay."""
+
+    def _client(self, server, **kwargs):
+        return ServiceClient(lambda: FrameStream(server.connect()),
+                             name=server.name, retry_delay_s=0.0, **kwargs)
+
+    def test_window_sizes_fold_identically(self, tiny_config):
+        model = MoETransformer(tiny_config)
+        framed = [frame_update(u) for u in _updates(model, num_participants=6)]
+        results = []
+        for window in (1, 2, 64):
+            server = InProcessServer(name=f"w{window}")
+            client = self._client(server, chunk_frames=1, window=window)
+            try:
+                result, _ = client.fold_shard(None, False, 0, framed)
+                results.append(result)
+            finally:
+                client.shutdown()
+                server.close()
+        assert results[0] == results[1] == results[2]
+
+    def test_connection_drop_mid_window_replays_whole_round(self, tiny_config):
+        """A connection dying with unacknowledged ADDs in flight replays the
+        round under a fresh token; the half-window is orphaned server-side."""
+        server = InProcessServer(name="drop")
+        client = self._client(server, chunk_frames=1, window=4)
+        try:
+            model = MoETransformer(tiny_config)
+            framed = [frame_update(u)
+                      for u in _updates(model, num_participants=6)]
+            baseline, _ = client.fold_shard(None, False, 0, framed)
+
+            real_send = client._send_request
+            state = {"sends": 0}
+
+            def flaky_send(stream, op, body):
+                state["sends"] += 1
+                if state["sends"] == 3:
+                    # two ADDs already in flight, unacked (window=4 means no
+                    # ack has been read yet) when the wire dies
+                    stream.close()
+                    raise ConnectionError("injected mid-window drop")
+                return real_send(stream, op, body)
+
+            client._send_request = flaky_send
+            try:
+                result, _ = client.fold_shard(None, False, 0, framed)
+            finally:
+                client._send_request = real_send
+            assert result == baseline
+            assert client.stats["retried_rounds"] == 1
+            assert client.server_stats()["pending_tokens"] <= 1  # orphan only
+        finally:
+            client.shutdown()
+            server.close()
+
+    def test_flush_sent_only_after_window_drained(self, tiny_config):
+        """Every ADD in the round is acknowledged before the flush leaves
+        the client — and the final chunk rides the flush body, so a round
+        of N chunks is N-1 ADDs plus one flush."""
+        server = InProcessServer(name="drain")
+        client = self._client(server, chunk_frames=1, window=3)
+        try:
+            model = MoETransformer(tiny_config)
+            framed = [frame_update(u)
+                      for u in _updates(model, num_participants=7)]
+            events = []
+            real_send, real_recv = client._send_request, client._recv_response
+
+            def logged_send(stream, op, body):
+                events.append(("send", op))
+                return real_send(stream, op, body)
+
+            def logged_recv(stream):
+                events.append(("recv", None))
+                return real_recv(stream)
+
+            client._send_request, client._recv_response = logged_send, logged_recv
+            try:
+                result, _ = client.fold_shard(None, False, 0, framed)
+            finally:
+                client._send_request = real_send
+                client._recv_response = real_recv
+            assert result
+            flush_at = events.index(("send", OP_FLUSH_SHARD))
+            acks_before_flush = sum(1 for kind, _ in events[:flush_at]
+                                    if kind == "recv")
+            # one HELLO ack + one ack per ADD chunk (the final chunk rides
+            # the flush, so len(framed) - 1 ADDs), all pre-flush
+            assert acks_before_flush == 1 + (len(framed) - 1)
+            assert client.stats["requests"] == 1 + (len(framed) - 1) + 1
+        finally:
+            client.shutdown()
+            server.close()
+
+    def test_sigkill_under_full_pipeline_replays(self, tiny_config):
+        """SIGKILL of a spawned server with a full ADD window in flight heals
+        by respawn + whole-round replay, bit-identically."""
+        pool = ServiceAggregationPool(1, transport="tcp", retry_delay_s=0.01,
+                                      chunk_frames=1, window=4)
+        try:
+            model = MoETransformer(tiny_config)
+            framed = [frame_update(u)
+                      for u in _updates(model, num_participants=6)]
+            expected = pool.fold_shards(None, False, [(0, framed)])
+            client = pool._clients[0]
+            real_send = client._send_request
+            state = {"killed": False}
+
+            def killer_send(stream, op, body):
+                if not state["killed"] and op == OP_ADD:
+                    state["killed"] = True
+                    pool._servers[0].kill()
+                    time.sleep(0.05)  # let the SIGKILL land mid-window
+                return real_send(stream, op, body)
+
+            client._send_request = killer_send
+            try:
+                healed = pool.fold_shards(None, False, [(0, framed)])
+            finally:
+                client._send_request = real_send
+            assert healed == expected
+            assert client.stats["retried_rounds"] == 1
+        finally:
+            pool.close()
+
+
 # ------------------------------------------------------------------- failover
 class TestServiceFailover:
     def test_killed_server_mid_round_heals_by_respawn_and_replay(self, tiny_config):
@@ -361,14 +637,21 @@ class TestServiceMachinery:
         pool = make_aggregation_pool(RunConfig(
             aggregation_executor="service", aggregation_workers=3,
             service_transport="socketpair", service_retry_attempts=5,
-            service_retry_delay_s=0.2, service_timeout_s=7.0))
+            service_retry_delay_s=0.2, service_timeout_s=7.0,
+            service_codec="wire", service_window=5))
         assert isinstance(pool, ServiceAggregationPool)
         assert pool.num_servers == 3
         assert pool.transport == "socketpair"
         assert pool.retry_attempts == 5
         assert pool.retry_delay_s == 0.2
         assert pool.timeout_s == 7.0
+        assert pool.wire_frames is True
+        assert pool.window == 5
         pool.close()  # never started: close is a no-op
+        default = make_aggregation_pool(RunConfig(
+            aggregation_executor="service", service_transport="socketpair"))
+        assert default.wire_frames is False  # lossless fp64 stays the default
+        default.close()
 
     def test_config_validates_service_knobs(self):
         with pytest.raises(ValueError, match="service transport"):
@@ -379,6 +662,10 @@ class TestServiceMachinery:
             RunConfig(service_retry_delay_s=-1.0)
         with pytest.raises(ValueError, match="timeout"):
             RunConfig(service_timeout_s=0.0)
+        with pytest.raises(ValueError, match="service codec"):
+            RunConfig(service_codec="fp8000")
+        with pytest.raises(ValueError, match="service_window"):
+            RunConfig(service_window=0)
         with pytest.raises(ValueError, match="aggregation executor"):
             RunConfig(aggregation_executor="carrier-pigeon")
 
