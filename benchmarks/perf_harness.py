@@ -352,11 +352,12 @@ def _bench_shard_fold(updates, num_shards: int, iters: int, reps: int,
     Three measurements, interleaved per repetition so host-load drift cancels
     out of the ratios:
 
-    * ``serial_wire_fold_s`` — the serial baseline: decode every wire frame
-      and fold, on one thread.  This is exactly what the root of a
-      ``transport="wire"`` deployment does today, and exactly the total work
-      the pooled path partitions — the headline speedup compares like with
-      like.  ``serial_inmemory_fold_s`` (the analytic-transport fold, no
+    * ``serial_wire_fold_s`` — the serial baseline: the production fused
+      decode-and-fold path (``aggregate_payloads`` through the server's
+      persistent scratch pool), on one thread.  This is exactly what the root
+      of a ``transport="wire"`` deployment does today, and exactly the total
+      work the pooled path partitions — the headline speedup compares like
+      with like.  ``serial_inmemory_fold_s`` (the analytic-transport fold, no
       decode) is recorded alongside for transparency.
     * per-shard worker jobs + the parent merge, each timed in isolation; their
       combination ``critical_path_s = max(job) + merge`` is the fold wall-clock
@@ -367,7 +368,7 @@ def _bench_shard_fold(updates, num_shards: int, iters: int, reps: int,
     * ``pooled_wall_s`` — the real process-pool fold on *this* host, IPC and
       (single-core) timesharing included.
     """
-    from repro.comm import decode_state_dict, decode_update
+    from repro.comm import decode_state_dict
     from repro.federated import ShardedParameterServer
     from repro.models import MoETransformer
     from repro.models.presets import get_preset
@@ -385,7 +386,7 @@ def _bench_shard_fold(updates, num_shards: int, iters: int, reps: int,
     merge_model = MoETransformer(config)
 
     def serial_wire():
-        serial_server.aggregate([decode_update(frame) for frame, _ in all_framed])
+        serial_server.aggregate_payloads(frame for frame, _ in all_framed)
 
     def merge():
         for shard_result in worker_results:
@@ -495,6 +496,80 @@ def _bench_tree_fold(updates, tiers, iters: int, reps: int, pool) -> Dict:
     }
 
 
+def _bench_decode(updates, iters: int, reps: int) -> Dict:
+    """Fresh-allocation vs scratch-pool decode throughput over one round's
+    wire frames (the ``decode_into`` fast path the fused fold rides)."""
+    from repro.comm import ScratchPool, decode_update
+    from repro.runtime.executor import frame_update
+
+    all_framed = [frame_update(update)[0] for update in updates]
+    scratch = ScratchPool()
+
+    def fresh():
+        for frame in all_framed:
+            decode_update(frame)
+
+    def scratched():
+        for frame in all_framed:
+            decode_update(frame, scratch=scratch)
+            scratch.recycle()
+
+    times = _interleaved_best_times({"fresh": {"decode": fresh},
+                                     "scratch": {"decode": scratched}},
+                                    iters, reps)
+    fresh_s = times["fresh"]["decode"]
+    scratch_s = times["scratch"]["decode"]
+    return {
+        "decode_fresh_s": fresh_s,
+        "decode_fresh_updates_per_s": len(all_framed) / fresh_s,
+        "decode_scratch_s": scratch_s,
+        "decode_scratch_updates_per_s": len(all_framed) / scratch_s,
+        "speedup_scratch_vs_fresh": fresh_s / scratch_s,
+    }
+
+
+def _bench_alloc_probe(updates) -> Dict:
+    """Tracemalloc probe of one *warm* fold round: peak temporary bytes of
+    the fused scratch path vs the buffered decode-then-fold path, plus the
+    scratch pool's steady-state allocation count (must stay 0 — any new
+    ``np.empty`` inside a warm round is a fast-path regression).
+    """
+    from repro.comm import decode_update
+    from repro.federated import ShardedParameterServer
+    from repro.models import MoETransformer
+    from repro.models.presets import get_preset
+    from repro.runtime.executor import frame_update
+
+    config = get_preset(AGG_PRESET.replace("_", "-"))
+    server = ShardedParameterServer(MoETransformer(config), num_shards=1)
+    all_framed = [frame_update(update)[0] for update in updates]
+
+    def fused():
+        server.aggregate_payloads(iter(all_framed))
+
+    def buffered():
+        server.aggregate([decode_update(frame) for frame in all_framed])
+
+    fused()  # warm: scratch pool filled, allocator and model buffers primed
+    buffered()
+    allocations_before = server.fold_scratch.allocations
+    tracemalloc.start()
+    fused()
+    _, fused_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    steady_allocations = server.fold_scratch.allocations - allocations_before
+    tracemalloc.start()
+    buffered()
+    _, buffered_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "fused_round_peak_bytes": int(fused_peak),
+        "buffered_round_peak_bytes": int(buffered_peak),
+        "peak_reduction_buffered_vs_fused": buffered_peak / max(fused_peak, 1),
+        "steady_state_scratch_allocations": int(steady_allocations),
+    }
+
+
 def run_aggregation_suite(quick: bool) -> Dict:
     """The aggregation-throughput benchmark family (``--suite aggregation``)."""
     from repro.runtime import AggregationPool
@@ -514,6 +589,8 @@ def run_aggregation_suite(quick: bool) -> Dict:
         tree = {"x".join(map(str, tiers)): _bench_tree_fold(updates, tiers, iters,
                                                             reps, pool)
                 for tiers in AGG_TREE_TIERS}
+        decode = _bench_decode(updates, iters, reps)
+        alloc_probe = _bench_alloc_probe(updates)
     finally:
         pool.close()
     return {
@@ -530,9 +607,15 @@ def run_aggregation_suite(quick: bool) -> Dict:
                  "pooled_wall_s is the real process pool on this host "
                  "(single-core hosts timeshare, so it shows IPC overhead "
                  "rather than speedup); serial_inmemory_* is the analytic-"
-                 "transport fold that never decodes, for transparency."),
+                 "transport fold that never decodes, for transparency. "
+                 "decode compares fresh-allocation vs scratch-pool "
+                 "decode_update throughput; alloc_probe tracemallocs one "
+                 "warm fused round (steady_state_scratch_allocations must "
+                 "stay 0)."),
         "shards": shards,
         "tree": tree,
+        "decode": decode,
+        "alloc_probe": alloc_probe,
         "headline_speedup_8shards":
             shards["8"]["speedup_critical_path_vs_serial"],
     }
@@ -565,6 +648,22 @@ def check_aggregation_regression(current: Dict, baseline_path: str,
         if cur < floor:
             failures.append((section, name, cur, ref))
 
+    def gate_ratio(section: str, metric: str, cur, ref) -> None:
+        """Gate a higher-is-better ratio at ``(1 - tolerance) * ref``."""
+        if not ref:
+            return
+        if not cur:
+            print(f"[MISSING] aggregation/{section}/{metric}: committed "
+                  f"{ref:.2f}x has no current measurement")
+            failures.append((section, metric, None, ref))
+            return
+        floor = (1.0 - tolerance) * ref
+        status = "OK" if cur >= floor else "REGRESSION"
+        print(f"[{status}] aggregation/{section}/{metric}: current {cur:.2f}x "
+              f"vs committed {ref:.2f}x (floor {floor:.2f}x)")
+        if cur < floor:
+            failures.append((section, metric, cur, ref))
+
     committed_agg = committed.get("aggregation", {})
     current_agg = current.get("aggregation", {})
     if not any(committed_agg.get(section) for section in ("shards", "tree")):
@@ -575,6 +674,36 @@ def check_aggregation_regression(current: Dict, baseline_path: str,
     for section in ("shards", "tree"):
         for name, ref_entry in committed_agg.get(section, {}).items():
             gate(section, name, current_agg.get(section, {}).get(name, {}), ref_entry)
+    gate_ratio("decode", "speedup_scratch_vs_fresh",
+               current_agg.get("decode", {}).get("speedup_scratch_vs_fresh"),
+               committed_agg.get("decode", {}).get("speedup_scratch_vs_fresh"))
+    gate_ratio("alloc_probe", "peak_reduction_buffered_vs_fused",
+               current_agg.get("alloc_probe", {}).get(
+                   "peak_reduction_buffered_vs_fused"),
+               committed_agg.get("alloc_probe", {}).get(
+                   "peak_reduction_buffered_vs_fused"))
+    ref_allocs = committed_agg.get("alloc_probe", {}).get(
+        "steady_state_scratch_allocations")
+    if ref_allocs is not None:
+        cur_allocs = current_agg.get("alloc_probe", {}).get(
+            "steady_state_scratch_allocations")
+        if cur_allocs is None:
+            print("[MISSING] aggregation/alloc_probe/"
+                  "steady_state_scratch_allocations: committed "
+                  f"{ref_allocs} has no current measurement")
+            failures.append(("alloc_probe", "steady_state_scratch_allocations",
+                             None, ref_allocs))
+        else:
+            # Allocation counts gate exactly (no tolerance): a warm fused
+            # round must not allocate more than the committed steady state.
+            status = "OK" if cur_allocs <= ref_allocs else "REGRESSION"
+            print(f"[{status}] aggregation/alloc_probe/"
+                  f"steady_state_scratch_allocations: current {cur_allocs} "
+                  f"vs committed {ref_allocs} (must not exceed)")
+            if cur_allocs > ref_allocs:
+                failures.append(("alloc_probe",
+                                 "steady_state_scratch_allocations",
+                                 cur_allocs, ref_allocs))
     if failures:
         print(f"FAILED: {len(failures)} aggregation speedup(s) regressed more "
               f"than {tolerance:.0%} (or went unmeasured) vs {baseline_path}")

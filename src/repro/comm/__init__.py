@@ -14,6 +14,7 @@ transport via :class:`~repro.federated.RunConfig` (``codec=``,
 
 from .aggregator import StreamingAggregator, finalize_weighted_sum, fold_weighted_state
 from .channel import Channel, ChannelStats, TransferRecord
+from .scratch import ScratchPool, thread_scratch
 from .codecs import (
     CastCodec,
     Codec,
@@ -71,6 +72,8 @@ __all__ = [
     "StreamingAggregator",
     "fold_weighted_state",
     "finalize_weighted_sum",
+    "ScratchPool",
+    "thread_scratch",
     "Channel",
     "ChannelStats",
     "TransferRecord",

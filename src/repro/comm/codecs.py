@@ -41,6 +41,42 @@ def _index_dtype_for(size: int) -> np.dtype:
                     else _INDEX_DTYPE)
 
 
+def _deliver(values: np.ndarray, shape: Tuple[int, ...], dtype: np.dtype,
+             out: Optional[np.ndarray]) -> np.ndarray:
+    """Reshape-and-cast ``values`` into ``out``, or a fresh array if ``None``.
+
+    The scratch path (``np.copyto`` with ``casting="unsafe"``) runs the same
+    cast kernels as ``astype``, so both paths are bit-identical; ``out`` must
+    already have the declared shape/dtype (decode scratch is keyed on them).
+    """
+    if out is None:
+        return values.reshape(shape).astype(dtype)
+    if out.shape != tuple(shape) or out.dtype != dtype:
+        raise ValueError(
+            f"decode scratch of shape {out.shape}/{out.dtype} cannot hold a "
+            f"{shape}/{np.dtype(dtype)} tensor")
+    np.copyto(out, values.reshape(shape), casting="unsafe")
+    return out
+
+
+def _delta_workspace(reference: np.ndarray, shape: Tuple[int, ...],
+                     out: Optional[np.ndarray]) -> Tuple[np.ndarray, bool]:
+    """A flat float64 copy of ``reference`` for delta codecs to scatter into.
+
+    When ``out`` is a float64 array of the right shape the copy lands directly
+    in it (``(out-as-flat, True)``) and the decode is allocation-free;
+    otherwise a fresh workspace is returned (``(flat, False)``) and the caller
+    delivers it through :func:`_deliver`.
+    """
+    flat_ref = np.asarray(reference, dtype=np.float64).reshape(-1)
+    if (out is not None and out.dtype == np.float64
+            and tuple(out.shape) == tuple(shape)):
+        work = out.reshape(-1)
+        np.copyto(work, flat_ref)
+        return work, True
+    return flat_ref.copy(), False
+
+
 def _decode_sparse_indices(section: bytes, count: int, size: int) -> np.ndarray:
     """Read ``count`` sparse indices, accepting both u2 and u4 widths.
 
@@ -84,6 +120,13 @@ class Codec(abc.ABC):
     #: True when encode/decode need the shared reference tensor (delta codecs)
     needs_reference: bool = False
 
+    #: set by codecs whose decode is exactly "``np.frombuffer`` the single
+    #: section at this dtype, reshape, cast" — the frame decoder inlines that
+    #: walk (the fp64 fold hot path) without a per-tensor ``decode_array``
+    #: dispatch.  ``None`` (the default) means decode through
+    #: :meth:`decode_array`.
+    cast_wire_dtype: Optional[np.dtype] = None
+
     @abc.abstractmethod
     def encode_array(self, array: np.ndarray,
                      reference: Optional[np.ndarray] = None) -> List[bytes]:
@@ -92,8 +135,16 @@ class Codec(abc.ABC):
     @abc.abstractmethod
     def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
                      dtype: np.dtype,
-                     reference: Optional[np.ndarray] = None) -> np.ndarray:
-        """Reconstruct a tensor of ``shape``/``dtype`` from byte sections."""
+                     reference: Optional[np.ndarray] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Reconstruct a tensor of ``shape``/``dtype`` from byte sections.
+
+        Sections may be any bytes-like buffers (``memoryview`` sections of a
+        zero-copy frame included).  ``out``, when given, must be a
+        caller-owned array of exactly the declared shape/dtype; the codec
+        decodes into it and returns it, bit-identical to the allocating path
+        (the scratch fast path — see :mod:`repro.comm.scratch`).
+        """
 
     @abc.abstractmethod
     def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
@@ -130,6 +181,9 @@ class CastCodec(Codec):
         self.name = name
         self.wire_dtype = np.dtype(wire_dtype)
         self.exact = self.wire_dtype.itemsize >= 8
+        # decode is a pure frombuffer-reshape-cast: the frame decoder may
+        # inline it (bit-identical to decode_array by construction)
+        self.cast_wire_dtype = self.wire_dtype
 
     def encode_array(self, array: np.ndarray,
                      reference: Optional[np.ndarray] = None) -> List[bytes]:
@@ -138,13 +192,14 @@ class CastCodec(Codec):
 
     def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
                      dtype: np.dtype,
-                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+                     reference: Optional[np.ndarray] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
         if len(sections) != 1:
             raise PayloadCorruptedError("cast codec expects exactly one section")
         values = np.frombuffer(sections[0], dtype=self.wire_dtype)
         if values.size != math.prod(shape):
             raise PayloadCorruptedError("payload size does not match the declared shape")
-        return values.reshape(shape).astype(dtype)
+        return _deliver(values, shape, dtype, out)
 
     def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
         return float(self.wire_dtype.itemsize)
@@ -177,13 +232,14 @@ class GroupQuantCodec(Codec):
 
     def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
                      dtype: np.dtype,
-                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+                     reference: Optional[np.ndarray] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
         if len(sections) != 2:
             raise PayloadCorruptedError("quantized codec expects code + scale sections")
         packed, scale_bytes = sections
         size = math.prod(shape)
         if size == 0:
-            return np.zeros(shape, dtype=dtype)
+            return _deliver(np.zeros(size), shape, dtype, out)
         try:
             codes = unpack_int_codes(packed, self.bits, size)
         except ValueError as exc:
@@ -193,7 +249,7 @@ class GroupQuantCodec(Codec):
         if scales.size != rows:
             raise PayloadCorruptedError("scale count does not match the declared row count")
         values = codes.reshape(rows, -1) * scales[:, None]
-        return values.reshape(shape).astype(dtype)
+        return _deliver(values, shape, dtype, out)
 
     def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
         per_code = self.bits / 8.0
@@ -256,7 +312,8 @@ class TopKDeltaCodec(Codec):
 
     def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
                      dtype: np.dtype,
-                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+                     reference: Optional[np.ndarray] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
         reference = _check_reference(shape, reference)
         if len(sections) != 2:
             raise PayloadCorruptedError("top-k codec expects index + value sections")
@@ -264,10 +321,12 @@ class TopKDeltaCodec(Codec):
         if len(sections[1]) % value_width:
             raise PayloadCorruptedError("top-k value section is not whole values")
         values = np.frombuffer(sections[1], dtype=_VALUE_DTYPE)
-        out = np.asarray(reference, dtype=np.float64).copy().reshape(-1)
-        indices = _decode_sparse_indices(sections[0], values.size, out.size)
-        out[indices] += values
-        return out.reshape(shape).astype(dtype)
+        work, direct = _delta_workspace(reference, shape, out)
+        indices = _decode_sparse_indices(sections[0], values.size, work.size)
+        work[indices] += values
+        if direct:
+            return out
+        return _deliver(work, shape, dtype, out)
 
     def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
         # conservative wide-index estimate: small tensors ship u2 indices and
@@ -315,15 +374,16 @@ class TopKQuantCodec(TopKDeltaCodec):
 
     def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
                      dtype: np.dtype,
-                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+                     reference: Optional[np.ndarray] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
         reference = _check_reference(shape, reference)
         if len(sections) != 3:
             raise PayloadCorruptedError(
                 "topk-quantized codec expects index + code + scale sections")
         index_section, code_section, scale_section = sections
-        out = np.asarray(reference, dtype=np.float64).copy().reshape(-1)
+        work, direct = _delta_workspace(reference, shape, out)
         if not index_section and not code_section and not scale_section:
-            return out.reshape(shape).astype(dtype)
+            return out if direct else _deliver(work, shape, dtype, out)
         scales = np.frombuffer(scale_section, dtype=_SCALE_DTYPE).astype(np.float64)
         if scales.size != 1:
             raise PayloadCorruptedError(
@@ -332,7 +392,7 @@ class TopKQuantCodec(TopKDeltaCodec):
         # for this tensor first, then the other, cross-checked against the
         # packed-code section length
         k = None
-        preferred = _index_dtype_for(out.size).itemsize
+        preferred = _index_dtype_for(work.size).itemsize
         for width in (preferred, 6 - preferred):  # the other of {2, 4}
             candidate, remainder = divmod(len(index_section), width)
             if remainder == 0 and len(code_section) == -(-candidate * self.bits // 8):
@@ -341,13 +401,13 @@ class TopKQuantCodec(TopKDeltaCodec):
         if k is None or k == 0:
             raise PayloadCorruptedError(
                 "topk-quantized index and code sections disagree in length")
-        indices = _decode_sparse_indices(index_section, k, out.size)
+        indices = _decode_sparse_indices(index_section, k, work.size)
         try:
             codes = unpack_int_codes(code_section, self.bits, k)
         except ValueError as exc:
             raise PayloadCorruptedError(str(exc)) from exc
-        out[indices] += codes * scales[0]
-        return out.reshape(shape).astype(dtype)
+        work[indices] += codes * scales[0]
+        return out if direct else _deliver(work, shape, dtype, out)
 
     def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
         """Analytic bytes/param: u2 indices + packed codes (+ the scale).
@@ -396,7 +456,8 @@ class SparseDeltaCodec(Codec):
 
     def decode_array(self, sections: Sequence[bytes], shape: Tuple[int, ...],
                      dtype: np.dtype,
-                     reference: Optional[np.ndarray] = None) -> np.ndarray:
+                     reference: Optional[np.ndarray] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
         reference = _check_reference(shape, reference)
         if len(sections) != 2:
             raise PayloadCorruptedError(
@@ -405,10 +466,12 @@ class SparseDeltaCodec(Codec):
         if len(sections[1]) % value_width:
             raise PayloadCorruptedError("sparse-delta value section is not whole values")
         values = np.frombuffer(sections[1], dtype=_VALUE_DTYPE)
-        out = np.asarray(reference, dtype=np.float64).copy().reshape(-1)
-        indices = _decode_sparse_indices(sections[0], values.size, out.size)
-        out[indices] = values
-        return out.reshape(shape).astype(dtype)
+        work, direct = _delta_workspace(reference, shape, out)
+        indices = _decode_sparse_indices(sections[0], values.size, work.size)
+        work[indices] = values
+        if direct:
+            return out
+        return _deliver(work, shape, dtype, out)
 
     def wire_bytes_per_param(self, group_size: Optional[float] = None) -> float:
         # worst case (every entry changed): index + raw value per param

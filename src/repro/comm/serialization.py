@@ -20,10 +20,27 @@ both hops of a hierarchy speak the same wire format.  Tensor *values* travel in
 whatever sections the frame's :class:`~repro.comm.codecs.Codec` produced;
 shape and source dtype always travel in the clear so the receiver can
 reconstruct without out-of-band metadata.
+
+Decode is zero-copy up to the tensor values: :func:`_check_frame` CRCs a
+``memoryview`` of the input (``bytes``, ``bytearray`` or ``memoryview`` — a
+:meth:`~repro.comm.stream.FrameStream.recv_frame_view` buffer decodes without
+ever materialising a ``bytes`` frame), :func:`_decode_tensors` walks it with
+flat offset arithmetic and pre-compiled ``struct`` objects, hands codecs
+*views* of their payload sections, and ``np.frombuffer`` reads values straight
+out of the frame.
+Passing a :class:`~repro.comm.scratch.ScratchPool` as ``scratch=`` makes the
+tensor reconstruction allocation-free too: each output array is checked out
+of the pool and filled in place via the codecs' ``out=`` fast path — see
+:meth:`repro.comm.codecs.Codec.decode_array` — and when a cast codec's wire
+dtype already *is* the target dtype the array is a read-only view straight
+into the frame, with no copy at all.  Scratch-decoded states are volatile:
+valid only until the pool's next ``recycle()`` (and, for the frame-backed
+views, only while the frame buffer itself is not reused).
 """
 
 from __future__ import annotations
 
+import math
 import struct
 import zlib
 from typing import Callable, Dict, List, Optional, Tuple
@@ -31,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 import numpy as np
 
 from .codecs import Codec, PayloadCorruptedError, get_codec
+from .scratch import ScratchPool
 
 MAGIC = b"RWP1"
 KIND_UPDATE = 1
@@ -39,8 +57,61 @@ KIND_STATE_DICT = 2
 #: bytes of frame overhead that do not scale with tensor size
 FIXED_HEADER_BYTES = len(MAGIC) + 1 + 1 + 4  # magic, kind, codec_len, crc
 
+_CRC = struct.Struct("<I")
+
+#: pre-compiled readers for every format the frame walk touches; the shape
+#: formats (``<{ndim}I``) join lazily, so no decode ever calls
+#: ``struct.calcsize`` — measurably the old reader's single largest cost
+_STRUCTS: Dict[str, struct.Struct] = {
+    fmt: struct.Struct(fmt) for fmt in ("<B", "<H", "<I", "<iiid", "<BB")}
+_U16 = _STRUCTS["<H"]
+_U32 = _STRUCTS["<I"]
+_UPDATE_HEADER = _STRUCTS["<iiid"]
+
+#: per-``ndim`` shape readers (``<{ndim}I``), compiled once each
+_SHAPE_STRUCTS: Dict[int, struct.Struct] = {}
+
+#: parsed-``np.dtype`` cache: only strings ``np.dtype`` accepted are cached,
+#: so fuzzed garbage cannot grow it
+_DTYPES: Dict[str, np.dtype] = {}
+
+
+def _struct_for(fmt: str) -> struct.Struct:
+    compiled = _STRUCTS.get(fmt)
+    if compiled is None:
+        compiled = _STRUCTS[fmt] = struct.Struct(fmt)
+    return compiled
+
+
+def _shape_struct(ndim: int) -> struct.Struct:
+    compiled = _SHAPE_STRUCTS.get(ndim)
+    if compiled is None:
+        compiled = _SHAPE_STRUCTS[ndim] = struct.Struct(f"<{ndim}I")
+    return compiled
+
+
+def _dtype_for(token: str) -> np.dtype:
+    dtype = _DTYPES.get(token)
+    if dtype is None:
+        dtype = np.dtype(token)  # raises TypeError on garbage -> corrupted
+        _DTYPES[token] = dtype
+    return dtype
+
 
 ReferenceLookup = Callable[[int, int], Dict[str, np.ndarray]]
+
+#: lazily bound ExpertUpdate class (the federated layer imports this module,
+#: so the reverse import must happen at first decode, and only once)
+_EXPERT_UPDATE = None
+
+
+def _expert_update_class():
+    global _EXPERT_UPDATE
+    if _EXPERT_UPDATE is None:
+        from ..federated.aggregation import ExpertUpdate
+
+        _EXPERT_UPDATE = ExpertUpdate
+    return _EXPERT_UPDATE
 
 
 def _encode_tensors(parts: List[bytes], codec: Codec, state: Dict[str, np.ndarray],
@@ -70,80 +141,155 @@ def _encode_tensors(parts: List[bytes], codec: Codec, state: Dict[str, np.ndarra
 
 
 def _frame(parts: List[bytes]) -> bytes:
-    body = b"".join(parts)
-    return body + struct.pack("<I", zlib.crc32(body))
+    # CRC accumulates incrementally over the parts, so the body bytes are
+    # concatenated exactly once (the old body-join-then-append emitted every
+    # frame twice).
+    crc = 0
+    for part in parts:
+        crc = zlib.crc32(part, crc)
+    parts.append(_CRC.pack(crc))
+    return b"".join(parts)
 
 
-class _Reader:
-    """Bounds-checked sequential reader over one frame body."""
+def _check_frame(data) -> memoryview:
+    """CRC-check ``data`` (any bytes-like buffer); returns the body view.
 
-    def __init__(self, body: bytes) -> None:
-        self.body = body
-        self.offset = 0
-
-    def take(self, count: int) -> bytes:
-        end = self.offset + count
-        if count < 0 or end > len(self.body):
-            raise PayloadCorruptedError("frame truncated")
-        chunk = self.body[self.offset:end]
-        self.offset = end
-        return chunk
-
-    def unpack(self, fmt: str) -> Tuple:
-        return struct.unpack(fmt, self.take(struct.calcsize(fmt)))
-
-
-def _check_frame(data: bytes) -> _Reader:
-    if len(data) < FIXED_HEADER_BYTES:
+    The body excludes the trailing CRC but includes the magic (offset 0-3),
+    so header fields live at fixed offsets within it.
+    """
+    view = memoryview(data)
+    if type(data) is not bytes and (
+            view.ndim != 1 or view.itemsize != 1
+            or view.format not in ("B", "b", "c")):
+        view = view.cast("B")
+    if len(view) < FIXED_HEADER_BYTES:
         raise PayloadCorruptedError("frame shorter than the fixed header")
-    body, crc_bytes = data[:-4], data[-4:]
-    (crc,) = struct.unpack("<I", crc_bytes)
+    body = view[:-4]
+    (crc,) = _CRC.unpack_from(view, len(view) - 4)
     if zlib.crc32(body) != crc:
         raise PayloadCorruptedError("frame checksum mismatch")
-    reader = _Reader(body)
-    if reader.take(len(MAGIC)) != MAGIC:
+    if body[:4] != MAGIC:
         raise PayloadCorruptedError("bad frame magic")
-    return reader
+    return body
 
 
-def _decode_tensors(reader: _Reader, codec: Codec,
-                    reference: Optional[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
-    (ntensors,) = reader.unpack("<H")
+def _decode_tensors(body: memoryview, offset: int, codec: Codec,
+                    reference: Optional[Dict[str, np.ndarray]],
+                    scratch: Optional[ScratchPool] = None
+                    ) -> Dict[str, np.ndarray]:
+    # The per-tensor walk is THE decode hot loop: it runs with flat offset
+    # arithmetic over the body view and pre-compiled structs (no per-field
+    # reader objects or method calls).  ``unpack_from`` past the view raises
+    # ``struct.error`` and a single-byte read past it raises ``IndexError``
+    # — both converted to PayloadCorruptedError by the decode entry points —
+    # while variable-length slices are explicitly bounds-checked because a
+    # short ``memoryview`` slice would truncate silently.
+    size = len(body)
+    needs_reference = codec.needs_reference
+    decode_array = codec.decode_array
+    cast_dtype = codec.cast_wire_dtype
+    cast_itemsize = cast_dtype.itemsize if cast_dtype is not None else 0
+    shape_structs = _SHAPE_STRUCTS
+    dtypes = _DTYPES
+    (ntensors,) = _U16.unpack_from(body, offset)
+    offset += 2
     state: Dict[str, np.ndarray] = {}
     for _ in range(ntensors):
-        (name_len,) = reader.unpack("<H")
-        name = reader.take(name_len).decode("utf-8")
-        (dtype_len,) = reader.unpack("<B")
-        dtype = np.dtype(reader.take(dtype_len).decode("ascii"))
-        (ndim,) = reader.unpack("<B")
-        shape = tuple(reader.unpack(f"<{ndim}I"))
-        (nsections,) = reader.unpack("<B")
+        (name_len,) = _U16.unpack_from(body, offset)
+        offset += 2
+        end = offset + name_len
+        if end > size:
+            raise PayloadCorruptedError("frame truncated")
+        name = str(body[offset:end], "utf-8")
+        dtype_len = body[end]
+        offset = end + 1
+        end = offset + dtype_len
+        if end > size:
+            raise PayloadCorruptedError("frame truncated")
+        token = str(body[offset:end], "ascii")
+        dtype = dtypes.get(token)
+        if dtype is None:
+            dtype = _dtype_for(token)
+        ndim = body[end]
+        offset = end + 1
+        compiled = shape_structs.get(ndim)
+        if compiled is None:
+            compiled = _shape_struct(ndim)
+        shape = compiled.unpack_from(body, offset)
+        offset += compiled.size
+        nsections = body[offset]
+        offset += 1
+        if cast_dtype is not None and nsections == 1:
+            # Inlined cast-codec fast path: one section of raw wire-dtype
+            # values.  Identical arithmetic to CastCodec.decode_array (same
+            # frombuffer, same reshape, same cast kernels) with no per-tensor
+            # dispatch — this is the fp64 fold hot path.
+            (section_len,) = _U32.unpack_from(body, offset)
+            offset += 4
+            end = offset + section_len
+            if end > size:
+                raise PayloadCorruptedError("frame truncated")
+            if section_len != cast_itemsize * math.prod(shape):
+                raise PayloadCorruptedError(
+                    "payload size does not match the declared shape")
+            values = np.frombuffer(body[offset:end], dtype=cast_dtype)
+            offset = end
+            if scratch is None:
+                state[name] = values.reshape(shape).astype(dtype)
+            elif dtype == cast_dtype:
+                # True zero-copy: the wire bytes *are* the values, so under
+                # scratch (volatile-until-recycle semantics anyway) the fold
+                # reads straight out of the frame — no take, no copy.  The
+                # view is read-only and possibly unaligned; NumPy's ufunc
+                # loops handle both, and the fold only ever reads it.
+                state[name] = values.reshape(shape)
+            else:
+                out = scratch.take(shape, dtype)
+                np.copyto(out, values.reshape(shape), casting="unsafe")
+                state[name] = out
+            continue
         sections = []
         for _ in range(nsections):
-            (section_len,) = reader.unpack("<I")
-            sections.append(reader.take(section_len))
+            (section_len,) = _U32.unpack_from(body, offset)
+            offset += 4
+            end = offset + section_len
+            if end > size:
+                raise PayloadCorruptedError("frame truncated")
+            sections.append(body[offset:end])
+            offset = end
         ref = None
-        if codec.needs_reference:
+        if needs_reference:
             if reference is None or name not in reference:
                 raise ValueError(
                     f"codec {codec.name!r} needs a reference for tensor {name!r}")
             ref = reference[name]
-        state[name] = codec.decode_array(sections, shape, dtype, reference=ref)
+        if scratch is not None:
+            state[name] = decode_array(sections, shape, dtype, reference=ref,
+                                       out=scratch.take(shape, dtype))
+        else:
+            state[name] = decode_array(sections, shape, dtype, reference=ref)
     return state
 
 
-def _codec_from(reader: _Reader) -> Codec:
-    (codec_len,) = reader.unpack("<B")
-    return get_codec(reader.take(codec_len).decode("ascii"))
+def _parse_header(body: memoryview) -> Tuple[int, Codec, int]:
+    """Read ``kind`` and the codec past the magic; returns the next offset."""
+    kind = body[4]
+    codec_len = body[5]
+    end = 6 + codec_len
+    if end > len(body):
+        raise PayloadCorruptedError("frame truncated")
+    codec = get_codec(str(body[6:end], "ascii"))
+    return kind, codec, end
 
 
-def frame_codec_name(data: bytes) -> str:
+def frame_codec_name(data) -> str:
     """The codec tag an ``RWP1`` frame declares, read from the header alone.
 
     Cheap (no CRC pass, no tensor decode) — this is how the service plane
     validates/labels frames without unpacking them.  Raises ``ValueError`` on
     anything that is not an ``RWP1`` frame header; the returned name is *not*
     checked against the codec registry (callers decide how to fail).
+    Accepts any bytes-like buffer.
     """
     header = len(MAGIC) + 2  # magic, kind, codec_len
     if len(data) < header or data[:len(MAGIC)] != MAGIC:
@@ -152,7 +298,7 @@ def frame_codec_name(data: bytes) -> str:
     if len(data) < header + codec_len:
         raise ValueError("RWP1 frame truncated inside its codec tag")
     try:
-        return data[header:header + codec_len].decode("ascii")
+        return str(data[header:header + codec_len], "ascii")
     except UnicodeDecodeError as exc:
         raise ValueError(f"undecodable RWP1 codec tag: {exc}") from exc
 
@@ -172,33 +318,51 @@ def encode_update(update, codec: Codec,
     return _frame(parts)
 
 
-def decode_update(data: bytes,
+def decode_update(data,
                   reference: Optional[Dict[str, np.ndarray]] = None,
-                  reference_lookup: Optional[ReferenceLookup] = None):
-    """Inverse of :func:`encode_update`.
+                  reference_lookup: Optional[ReferenceLookup] = None,
+                  scratch: Optional[ScratchPool] = None):
+    """Inverse of :func:`encode_update` (``data``: any bytes-like buffer).
 
     Delta codecs resolve their reference either from ``reference`` directly
     or via ``reference_lookup(layer, expert)`` (e.g. the parameter server's
-    :meth:`~repro.federated.server.ParameterServer.expert_state`).
+    :meth:`~repro.federated.server.ParameterServer.expert_state`).  With a
+    ``scratch`` pool the decoded state's arrays are volatile — pool-owned
+    (valid only until ``scratch.recycle()``) or read-only views into the
+    frame itself — so callers must fold (or copy) them first.
     """
-    from ..federated.aggregation import ExpertUpdate
+    participant_id, layer, expert, weight, state = _decode_update_parts(
+        data, reference, reference_lookup, scratch)
+    return _expert_update_class()(
+        participant_id=participant_id, layer=layer, expert=expert,
+        state=state, weight=weight)
 
-    reader = _check_frame(data)
+
+def _decode_update_parts(data, reference, reference_lookup, scratch):
+    """:func:`decode_update` minus the ``ExpertUpdate`` construction.
+
+    The fused fold path (:meth:`StreamingAggregator.fold_payload
+    <repro.comm.aggregator.StreamingAggregator.fold_payload>`) consumes the
+    raw ``(participant_id, layer, expert, weight, state)`` tuple directly —
+    building (and immediately unpacking) a dataclass per frame is measurable
+    at wire-fold rates.
+    """
+    body = _check_frame(data)
     try:
-        (kind,) = reader.unpack("<B")
+        kind, codec, offset = _parse_header(body)
         if kind != KIND_UPDATE:
             raise PayloadCorruptedError(f"expected an update frame, got kind {kind}")
-        codec = _codec_from(reader)
-        participant_id, layer, expert, weight = reader.unpack("<iiid")
+        participant_id, layer, expert, weight = _UPDATE_HEADER.unpack_from(
+            body, offset)
+        offset += _UPDATE_HEADER.size
         if codec.needs_reference and reference is None and reference_lookup is not None:
             reference = reference_lookup(layer, expert)
-        state = _decode_tensors(reader, codec, reference)
-    except (struct.error, KeyError, UnicodeDecodeError, TypeError) as exc:
+        state = _decode_tensors(body, offset, codec, reference, scratch)
+    except (struct.error, KeyError, IndexError, UnicodeDecodeError, TypeError) as exc:
         # The CRC makes this unreachable for in-flight corruption; it guards
         # against truncated or foreign-writer frames that still checksum.
         raise PayloadCorruptedError(f"malformed update frame: {exc}") from exc
-    return ExpertUpdate(participant_id=participant_id, layer=layer, expert=expert,
-                        state=state, weight=weight)
+    return participant_id, layer, expert, weight, state
 
 
 def encode_state_dict(state: Dict[str, np.ndarray], codec: Codec,
@@ -214,16 +378,19 @@ def encode_state_dict(state: Dict[str, np.ndarray], codec: Codec,
     return _frame(parts)
 
 
-def decode_state_dict(data: bytes,
-                      reference: Optional[Dict[str, np.ndarray]] = None
+def decode_state_dict(data,
+                      reference: Optional[Dict[str, np.ndarray]] = None,
+                      scratch: Optional[ScratchPool] = None
                       ) -> Dict[str, np.ndarray]:
-    """Inverse of :func:`encode_state_dict`."""
-    reader = _check_frame(data)
+    """Inverse of :func:`encode_state_dict` (``data``: any bytes-like buffer).
+
+    ``scratch`` decodes into pool-owned arrays, as :func:`decode_update` does.
+    """
+    body = _check_frame(data)
     try:
-        (kind,) = reader.unpack("<B")
+        kind, codec, offset = _parse_header(body)
         if kind != KIND_STATE_DICT:
             raise PayloadCorruptedError(f"expected a state-dict frame, got kind {kind}")
-        codec = _codec_from(reader)
-        return _decode_tensors(reader, codec, reference)
-    except (struct.error, KeyError, UnicodeDecodeError, TypeError) as exc:
+        return _decode_tensors(body, offset, codec, reference, scratch)
+    except (struct.error, KeyError, IndexError, UnicodeDecodeError, TypeError) as exc:
         raise PayloadCorruptedError(f"malformed state-dict frame: {exc}") from exc

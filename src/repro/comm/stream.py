@@ -77,6 +77,10 @@ class FrameStream:
                  max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self._sock: Optional[socket.socket] = sock
         self._max_frame_bytes = int(max_frame_bytes)
+        #: reusable receive buffer: ``recv_into`` fills it in place, growing
+        #: it to the largest frame seen, so steady-state receives neither
+        #: allocate nor concatenate chunk copies
+        self._recv_buffer = bytearray(LENGTH_PREFIX.size)
         #: cumulative traffic counters (prefix bytes included), feeding the
         #: ``repro_service_bytes_*`` metrics
         self.bytes_sent = 0
@@ -147,42 +151,57 @@ class FrameStream:
         return len(data)
 
     # ------------------------------------------------------------------- recv
-    def _recv_exactly(self, num_bytes: int, *, at_boundary: bool) -> Optional[bytes]:
-        """Read exactly ``num_bytes``, across however many chunks arrive.
+    def _recv_exactly(self, num_bytes: int, *, at_boundary: bool) -> Optional[memoryview]:
+        """Read exactly ``num_bytes`` into the reusable buffer, across
+        however many chunks arrive; returns a view of the filled region.
 
         ``at_boundary=True`` (reading a length prefix) turns a clean EOF
         before the first byte into ``None``; EOF anywhere else is a peer
-        dying mid-frame and raises :class:`TruncatedFrameError`.
+        dying mid-frame and raises :class:`TruncatedFrameError`.  The view
+        is valid only until the next receive on this stream.
         """
         sock = self._require_open()
-        chunks = []
+        if len(self._recv_buffer) < num_bytes:
+            self._recv_buffer = bytearray(num_bytes)
+        view = memoryview(self._recv_buffer)[:num_bytes]
         received = 0
         while received < num_bytes:
-            chunk = sock.recv(num_bytes - received)
-            if not chunk:
+            chunk = sock.recv_into(view[received:])
+            if chunk == 0:
                 if at_boundary and received == 0:
                     return None
                 raise TruncatedFrameError(
                     f"stream ended mid-frame: wanted {num_bytes} bytes, got "
                     f"{received} before the peer closed")
-            chunks.append(chunk)
-            received += len(chunk)
+            received += chunk
         self.bytes_received += received
-        return b"".join(chunks)
+        return view
 
-    def recv_frame(self) -> Optional[bytes]:
-        """The next complete frame, or ``None`` on clean end-of-stream."""
+    def recv_frame_view(self) -> Optional[memoryview]:
+        """The next complete frame as a *view* of the stream's receive buffer.
+
+        Zero-copy twin of :meth:`recv_frame`: the returned ``memoryview``
+        (empty for an empty frame, ``None`` on clean end-of-stream) feeds the
+        wire decoder directly — ``decode_update``/``decode_message`` accept
+        any buffer — without ever materialising a ``bytes`` frame.  It is
+        only valid until the next receive on this stream; callers that keep
+        frames (round accumulators) must copy with ``bytes(view)``.
+        """
         prefix = self._recv_exactly(LENGTH_PREFIX.size, at_boundary=True)
         if prefix is None:
             return None
-        (length,) = LENGTH_PREFIX.unpack(prefix)
+        (length,) = LENGTH_PREFIX.unpack_from(prefix)
         _check_length(length, self._max_frame_bytes)
-        if length == 0:
-            frame: Optional[bytes] = b""
-        else:
-            frame = self._recv_exactly(length, at_boundary=False)
+        # The prefix's four buffer bytes may be overwritten by the payload
+        # read below — ``length`` is already extracted, nothing else aliases.
+        frame = self._recv_exactly(length, at_boundary=False)
         self.frames_received += 1
         return frame
+
+    def recv_frame(self) -> Optional[bytes]:
+        """The next complete frame, or ``None`` on clean end-of-stream."""
+        view = self.recv_frame_view()
+        return None if view is None else bytes(view)
 
 
 # ------------------------------------------------------------- asyncio twins

@@ -54,12 +54,16 @@ class ExpertUpdate:
 
 
 def fedavg_states(states: Sequence[Dict[str, np.ndarray]],
-                  weights: Sequence[float]) -> Dict[str, np.ndarray]:
+                  weights: Sequence[float],
+                  scratch=None) -> Dict[str, np.ndarray]:
     """Weighted average of several identically shaped state dicts.
 
     Implemented as a sequential weighted fold over the states (the same
     :func:`~repro.comm.aggregator.fold_weighted_state` the streaming server
     path uses), so buffered and streaming aggregation are bit-identical.
+    ``scratch`` (a :class:`~repro.comm.scratch.ScratchPool`) reuses the
+    pool's term buffers for the per-state multiplies — same arithmetic,
+    no per-fold allocation.
     """
     if not states:
         raise ValueError("cannot average an empty list of states")
@@ -76,7 +80,7 @@ def fedavg_states(states: Sequence[Dict[str, np.ndarray]],
         total = float(len(states))
     acc: Dict[str, np.ndarray] = {}
     for state, weight in zip(states, weights):
-        fold_weighted_state(acc, state, weight)
+        fold_weighted_state(acc, state, weight, scratch=scratch)
     return finalize_weighted_sum(acc, total)
 
 
@@ -88,17 +92,21 @@ def group_updates(updates: Iterable[ExpertUpdate]) -> Dict[ExpertKey, List[Exper
     return grouped
 
 
-def apply_fedavg(model: MoETransformer, updates: Iterable[ExpertUpdate]) -> Dict[ExpertKey, int]:
+def apply_fedavg(model: MoETransformer, updates: Iterable[ExpertUpdate],
+                 scratch=None) -> Dict[ExpertKey, int]:
     """FedAvg every expert that received updates and load it into ``model``.
 
     Returns a mapping from expert key to the number of participants that
-    contributed to it (used for logging and cost accounting).
+    contributed to it (used for logging and cost accounting).  ``scratch``
+    threads a :class:`~repro.comm.scratch.ScratchPool` through the per-key
+    folds.
     """
     grouped = group_updates(updates)
     contributions: Dict[ExpertKey, int] = {}
     for (layer, expert), expert_updates in grouped.items():
         averaged = fedavg_states([u.state for u in expert_updates],
-                                 [u.weight for u in expert_updates])
+                                 [u.weight for u in expert_updates],
+                                 scratch=scratch)
         model.load_expert_state(layer, expert, averaged)
         contributions[(layer, expert)] = len(expert_updates)
     return contributions

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, List
 
 import numpy as np
 
-from ..comm import StreamingAggregator
+from ..comm import ScratchPool, StreamingAggregator
 from ..models import MoETransformer
 from .aggregation import ExpertKey, ExpertUpdate, apply_fedavg
 
@@ -62,6 +62,10 @@ class ParameterServer:
         #: span tracer for per-shard fold spans; the fine-tuner shares its
         #: run telemetry tracer here, the no-op default costs nothing
         self.tracer = NULL_TRACER
+        #: persistent decode/fold scratch: payload decode and the weighted
+        #: folds reuse these buffers across rounds, so steady-state serial
+        #: aggregation is allocation-free (ships empty through pickle)
+        self.fold_scratch = ScratchPool()
 
     # ------------------------------------------------------------ distribution
     def global_state(self) -> Dict[str, np.ndarray]:
@@ -85,8 +89,14 @@ class ParameterServer:
         return strategy if strategy is not None else self.strategy
 
     def _make_aggregators(self, strategy) -> List[StreamingAggregator]:
-        """One streaming aggregator per shard (flat servers have one)."""
-        return [StreamingAggregator(strategy) for _ in range(self.num_shards)]
+        """One streaming aggregator per shard (flat servers have one).
+
+        All shards share the server's persistent scratch pool — they fold
+        sequentially on the server thread, so the pool's term buffers never
+        see concurrent use.
+        """
+        return [StreamingAggregator(strategy, scratch=self.fold_scratch)
+                for _ in range(self.num_shards)]
 
     def shard_of(self, key: ExpertKey) -> int:
         """The shard responsible for ``key`` (always 0 on a flat server)."""
@@ -118,7 +128,8 @@ class ParameterServer:
             # its all-zero-weight uniform fallback (and bit-exactness) hold on
             # sharded servers too; per-key folds are independent, so routing
             # through shard aggregators would change nothing but the fallback.
-            return self._record(apply_fedavg(self.global_model, updates))
+            return self._record(apply_fedavg(self.global_model, updates,
+                                             scratch=self.fold_scratch))
         aggregators = self._make_aggregators(effective)
         for update in updates:
             aggregators[self.shard_of(update.key)].add(update)
@@ -175,17 +186,27 @@ class ParameterServer:
         Each frame is decoded (resolving delta-codec references against the
         *current* global expert state — i.e. the state clients downloaded)
         and folded immediately; the model is only mutated once every payload
-        has been folded, so references stay stable throughout.
+        has been folded, so references stay stable throughout.  Decode and
+        fold run through the server's persistent scratch pool (foldable
+        strategies), so a steady-state round allocates nothing per update.
         """
         aggregators = self._make_aggregators(self._resolve_strategy(strategy))
-        for payload in payloads:
-            if self.num_shards == 1:
-                aggregators[0].add_payload(payload, reference_lookup=self.expert_state)
-            else:
-                from ..comm import decode_update
+        use_scratch = aggregators[0].uses_scratch  # one strategy => all agree
+        if self.num_shards == 1:
+            fold_payload = aggregators[0].fold_payload
+            for payload in payloads:
+                fold_payload(payload, reference_lookup=self.expert_state)
+        else:
+            from ..comm import decode_update
 
-                update = decode_update(payload, reference_lookup=self.expert_state)
+            scratch = self.fold_scratch if use_scratch else None
+            for payload in payloads:
+                update = decode_update(payload,
+                                       reference_lookup=self.expert_state,
+                                       scratch=scratch)
                 aggregators[self.shard_of(update.key)].add(update)
+                if scratch is not None:
+                    scratch.recycle()
         contributions: Dict[ExpertKey, int] = {}
         for aggregator in aggregators:
             contributions.update(aggregator.apply(self.global_model))

@@ -59,6 +59,13 @@ def staleness_discount(staleness: int, exponent: float = 0.5) -> float:
 class UpdateAccumulator(abc.ABC):
     """Collects the updates of one expert key and reduces them to one state."""
 
+    #: optional :class:`~repro.comm.scratch.ScratchPool` attached by the
+    #: owning :class:`~repro.comm.StreamingAggregator` (foldable strategies
+    #: only): folds compute their ``weight * value`` terms into the pool's
+    #: persistent buffers instead of allocating.  Buffering accumulators
+    #: ignore it.
+    scratch = None
+
     def __init__(self) -> None:
         self.count = 0
         self.total_weight = 0.0
@@ -119,7 +126,7 @@ class _FoldAccumulator(UpdateAccumulator):
     def add(self, state: State, weight: float, staleness: int = 0) -> None:
         if self._discount is not None:
             weight = weight * self._discount(staleness)
-        fold_weighted_state(self._acc, state, weight)
+        fold_weighted_state(self._acc, state, weight, scratch=self.scratch)
         self.total_weight += float(weight)
         self.count += 1
 

@@ -53,6 +53,7 @@ from ..comm import (
     Channel,
     ChannelStats,
     PayloadCorruptedError,
+    ScratchPool,
     StreamingAggregator,
     decode_update,
     encode_update,
@@ -225,6 +226,10 @@ class AggregationTree:
         self.last_tier_counts: List[List[int]] = [[0] * w for w in widths]
         #: per-tier measured channel stats of the most recent round
         self.last_tier_stats: List[ChannelStats] = [ChannelStats() for _ in widths]
+        #: persistent fold scratch for the *serial* tier folds (pooled folds
+        #: run in workers, which keep their own per-thread pools); every
+        #: serial fold this tree ever runs shares these term buffers
+        self._fold_scratch = ScratchPool()
 
     # ----------------------------------------------------------------- shape
     @property
@@ -316,7 +321,8 @@ class AggregationTree:
         """
         width = self.tiers[0]
         if pool is None:
-            aggregators = [StreamingAggregator(strategy) for _ in range(width)]
+            aggregators = [StreamingAggregator(strategy, scratch=self._fold_scratch)
+                           for _ in range(width)]
             for update in updates:
                 aggregators[self.edge_of(update.participant_id)].add(update)
             partials: Dict[int, List[Tuple[ExpertUpdate, Optional[bytes]]]] = {}
@@ -415,7 +421,7 @@ class AggregationTree:
         # arrival order, so the worker's streaming fold is bit-identical to
         # the serial parent aggregator (test-enforced).
         for tier in range(self.depth - 1):
-            parents = ([StreamingAggregator(strategy)
+            parents = ([StreamingAggregator(strategy, scratch=self._fold_scratch)
                         for _ in range(self.tiers[tier + 1])]
                        if pool is None else [])
             inbox: Dict[int, List[Tuple[bytes, int]]] = {}

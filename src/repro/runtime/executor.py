@@ -170,9 +170,61 @@ def _decode_framed_updates(framed: Sequence[Tuple[bytes, int]],
     return updates
 
 
+def _fold_legacy_frames(framed: Sequence[Tuple[bytes, int]],
+                        reference_lookup, scratch
+                        ) -> List[Tuple[Tuple[int, int], bytes, int]]:
+    """The ``None``-strategy buffered FedAvg, restructured as a scratch fold.
+
+    Bit-identical to the historical group-then-``fedavg_states`` fold: each
+    frame decodes (into scratch) and folds immediately, in arrival order,
+    with the identical multiply/add sequence — zero-weight contributions
+    included, whose ``-0.0 + 0.0`` signs depend on fold order.  The only
+    buffered state is the all-zero-weight fallback: while a key's running
+    weight is zero, exact copies of its decoded states are kept so a key
+    whose weights *stay* zero can degrade to the legacy uniform mean; the
+    copies are dropped the moment a positive weight arrives.
+    """
+    from ..comm import finalize_weighted_sum, fold_weighted_state
+    from ..federated.aggregation import fedavg_states
+
+    codec = get_codec(_IPC_CODEC)
+    accs: Dict[Tuple[int, int], Dict] = {}
+    totals: Dict[Tuple[int, int], float] = {}
+    counts: Dict[Tuple[int, int], int] = {}
+    pending: Dict[Tuple[int, int], List[Dict]] = {}
+    for frame, _ in framed:
+        update = decode_update(frame, reference_lookup=reference_lookup,
+                               scratch=scratch)
+        key = update.key
+        acc = accs.get(key)
+        if acc is None:
+            acc = accs[key] = {}
+        fold_weighted_state(acc, update.state, update.weight, scratch=scratch)
+        totals[key] = totals.get(key, 0.0) + float(update.weight)
+        counts[key] = counts.get(key, 0) + 1
+        if totals[key] <= 0:
+            pending.setdefault(key, []).append(
+                {name: np.array(value, dtype=np.float64)
+                 for name, value in update.state.items()})
+        else:
+            pending.pop(key, None)
+        scratch.recycle()
+    out = []
+    for key, acc in accs.items():
+        if totals[key] > 0:
+            state = finalize_weighted_sum(acc, totals[key])
+        else:
+            # the legacy uniform-mean fallback, replayed over the exact copies
+            state = fedavg_states(pending[key], [0.0] * counts[key],
+                                  scratch=scratch)
+        out.append((key, encode_state_dict(state, codec), counts[key]))
+    return out
+
+
 def _fold_shard_frames(strategy, streaming: bool,
                        framed: Sequence[Tuple[bytes, int]],
-                       references: Optional[Dict] = None
+                       references: Optional[Dict] = None,
+                       scratch=None
                        ) -> List[Tuple[Tuple[int, int], bytes, int]]:
     """Worker-side: fold one shard's framed updates to per-key aggregates.
 
@@ -183,21 +235,26 @@ def _fold_shard_frames(strategy, streaming: bool,
     ``StreamingAggregator.apply`` does).  Returns ``(key, framed aggregated
     state, contribution count)`` triples; the state travels back as a
     lossless fp64 state-dict frame, so pooled == serial bit-for-bit.
+
+    Frames decode into ``scratch`` (default: the calling thread's ambient
+    pool, which in a process-pool worker or a service server persists across
+    every round it folds) and are folded frame-by-frame, so the per-update
+    cost is one decode-into-scratch plus one fused fold — no per-update
+    allocations and no buffered update list.
     """
     from ..comm import StreamingAggregator
-    from ..federated.aggregation import fedavg_states, group_updates
+    from ..comm.scratch import thread_scratch
 
-    codec = get_codec(_IPC_CODEC)
-    updates = _decode_framed_updates(framed, _reference_lookup_from(references))
+    if scratch is None:
+        scratch = thread_scratch()
+    lookup = _reference_lookup_from(references)
     if strategy is None and not streaming:
-        return [
-            (key, encode_state_dict(fedavg_states([u.state for u in group],
-                                                  [u.weight for u in group]), codec),
-             len(group))
-            for key, group in group_updates(updates).items()
-        ]
-    aggregator = StreamingAggregator(strategy)
-    aggregator.add_updates(updates)
+        return _fold_legacy_frames(framed, lookup, scratch)
+    codec = get_codec(_IPC_CODEC)
+    aggregator = StreamingAggregator(strategy, scratch=scratch)
+    fold_payload = aggregator.fold_payload
+    for frame, staleness in framed:
+        fold_payload(frame, reference_lookup=lookup, staleness=int(staleness))
     counts = aggregator.contributions()
     return [(key, encode_state_dict(state, codec), counts[key])
             for key, state in aggregator.finalize().items()]
@@ -205,18 +262,26 @@ def _fold_shard_frames(strategy, streaming: bool,
 
 def _prefold_node_frames(strategy, pseudo_id: int,
                          framed: Sequence[Tuple[bytes, int]],
-                         references: Optional[Dict] = None) -> List[bytes]:
+                         references: Optional[Dict] = None,
+                         scratch=None) -> List[bytes]:
     """Worker-side: pre-fold one aggregation-tree node's framed updates.
 
     The node's partials come back as framed updates carrying the group's
     accumulated weight and the node's pseudo participant id — byte-for-byte
     what the serial tier fold would have encoded for the upward hop.
+    Decode-and-fold runs through ``scratch`` exactly as
+    :func:`_fold_shard_frames` does.
     """
     from ..comm import StreamingAggregator
+    from ..comm.scratch import thread_scratch
 
-    aggregator = StreamingAggregator(strategy)
-    aggregator.add_updates(
-        _decode_framed_updates(framed, _reference_lookup_from(references)))
+    if scratch is None:
+        scratch = thread_scratch()
+    lookup = _reference_lookup_from(references)
+    aggregator = StreamingAggregator(strategy, scratch=scratch)
+    fold_payload = aggregator.fold_payload
+    for frame, staleness in framed:
+        fold_payload(frame, reference_lookup=lookup, staleness=int(staleness))
     codec = get_codec(_IPC_CODEC)
     return [encode_update(partial, codec) for partial in aggregator.partials(pseudo_id)]
 

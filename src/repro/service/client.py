@@ -148,7 +148,10 @@ class ServiceClient:
         """Read + check the next (in-order) response on the stream."""
         received_before = stream.bytes_received
         try:
-            response = stream.recv_frame()
+            # Zero-copy receive: the view aliases the stream's reusable
+            # buffer, and decode_message below fully materialises op + body
+            # (pickle copies what it keeps) before the next receive reuses it.
+            response = stream.recv_frame_view()
         finally:
             self.stats["bytes_received"] += stream.bytes_received - received_before
         if response is None:

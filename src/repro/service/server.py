@@ -41,6 +41,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
+from ..comm.scratch import ScratchPool
 from ..comm.stream import read_frame, write_frame
 from ..obs import span_record
 from .protocol import (
@@ -87,6 +88,12 @@ class AggregatorServer:
         #: updates accumulate across any number of OP_ADD chunks until a
         #: flush folds and clears them.
         self._pending: Dict[str, List[Tuple[bytes, int]]] = {}
+        #: persistent decode/fold scratch shared by every fold this server
+        #: ever runs — the long-lived service is the best case for scratch
+        #: reuse, since the buffers stay warm *across rounds and runs*.
+        #: Folds run inline on the (single) event-loop thread, so one pool
+        #: per server is race-free.
+        self._scratch = ScratchPool()
         self.stats: Dict[str, float] = {
             "pid": os.getpid(),
             "started_wall": time.time(),
@@ -201,13 +208,15 @@ class AggregatorServer:
             if op == OP_FLUSH_NODE:
                 pseudo_id = int(body["pseudo_id"])
                 result: object = _prefold_node_frames(
-                    strategy, pseudo_id, frames, references)
+                    strategy, pseudo_id, frames, references,
+                    scratch=self._scratch)
                 record_name, attrs = "prefold_node", {
                     "node": int(body["node"]),
                     "tier": tier_of_pseudo_id(pseudo_id)}
             else:
                 result = _fold_shard_frames(
-                    strategy, bool(body["streaming"]), frames, references)
+                    strategy, bool(body["streaming"]), frames, references,
+                    scratch=self._scratch)
                 record_name, attrs = "fold_shard", {"shard": int(body["shard"])}
             self.stats["rounds_folded"] += 1
             record = None
